@@ -1,0 +1,37 @@
+"""Shared configuration for the reproduction benchmark harness.
+
+Environment knobs:
+
+* ``REPRO_SCALE`` — workload scale factor (default 1.0; smaller is
+  faster and less faithful).
+* ``REPRO_BENCH_SUBSET`` — comma-separated benchmark names to restrict
+  the register-window sweeps (default: the full Table 2 suite).
+* ``REPRO_SMT_K`` — ``k1,k2,k4`` representative-workload counts for
+  the SMT figures (default ``5,6,4``).
+
+Results print as plain-text tables mirroring each figure; every test
+also asserts the qualitative claims the paper makes about its figure
+(who wins, roughly by how much, where curves cross).
+"""
+
+import os
+
+import pytest
+
+from repro.workloads.profiles import RW_BENCHMARKS
+
+
+def rw_subset():
+    env = os.environ.get("REPRO_BENCH_SUBSET")
+    if env:
+        names = tuple(n.strip() for n in env.split(",") if n.strip())
+        unknown = set(names) - set(RW_BENCHMARKS)
+        if unknown:
+            raise ValueError(f"unknown benchmarks: {sorted(unknown)}")
+        return names
+    return RW_BENCHMARKS
+
+
+@pytest.fixture(scope="session")
+def rw_benches():
+    return rw_subset()

@@ -1,0 +1,41 @@
+"""Figure 4: register-window execution time vs physical registers.
+
+Four machines (baseline, ideal windows, conventional windows, VCA
+windows) swept over 64-256 physical registers; values are normalized
+execution time relative to the baseline with 256 registers.
+Qualitative checks mirror Section 4.1's claims.
+"""
+
+from repro.experiments.report import render_series
+from repro.experiments.rw import REG_SIZES, fig4_execution_time
+
+
+def test_fig4_execution_time(benchmark, rw_benches):
+    series = benchmark.pedantic(
+        fig4_execution_time, kwargs={"benches": rw_benches},
+        rounds=1, iterations=1)
+    print()
+    print(render_series("Figure 4: normalized execution time",
+                        "phys regs", series))
+
+    # The baseline cannot run with only 64 physical registers.
+    assert series["baseline"][64] is None
+    assert series["conventional-rw"][64] is None
+    # VCA outperforms the non-windowed baseline at every size both run.
+    for size in (128, 192, 256):
+        assert series["vca-rw"][size] < series["baseline"][size]
+    # VCA is within a few percent of the ideal machine at 256 regs
+    # (paper: within 1%).
+    gap = series["vca-rw"][256] / series["ideal-rw"][256]
+    assert gap < 1.05, f"VCA {gap:.3f}x ideal at 256 regs"
+    # VCA's advantage grows as registers shrink (paper: 4% -> 9%).
+    adv_256 = series["baseline"][256] / series["vca-rw"][256]
+    adv_128 = series["baseline"][128] / series["vca-rw"][128]
+    assert adv_128 > adv_256 > 1.0
+    # The conventional window machine is slower than the baseline and
+    # degrades sharply with fewer registers.
+    assert series["conventional-rw"][256] > series["baseline"][256]
+    assert series["conventional-rw"][128] > series["conventional-rw"][256]
+    assert set(series) == {"baseline", "ideal-rw", "conventional-rw",
+                           "vca-rw"}
+    assert all(set(col) == set(REG_SIZES) for col in series.values())

@@ -1,0 +1,38 @@
+"""Figure 5: data-cache accesses vs physical registers.
+
+Same sweep as Figure 4 but counting DL1 accesses per unit of
+flat-equivalent work.  The headline claim: VCA windows cut data-cache
+accesses by roughly 20% at 256 registers, and the conventional window
+machine's burst save/restore traffic explodes at small register files
+while VCA's incremental single-register traffic grows far more slowly.
+"""
+
+from repro.experiments.report import render_series
+from repro.experiments.rw import fig5_cache_accesses
+
+
+def test_fig5_cache_accesses(benchmark, rw_benches):
+    series = benchmark.pedantic(
+        fig5_cache_accesses, kwargs={"benches": rw_benches},
+        rounds=1, iterations=1)
+    print()
+    print(render_series("Figure 5: normalized data-cache accesses",
+                        "phys regs", series))
+
+    # VCA reduces cache accesses substantially at 256 registers
+    # (paper: ~20%).
+    assert series["vca-rw"][256] < 0.90
+    # The ideal machine bounds the achievable reduction from below.
+    assert series["ideal-rw"][256] < series["vca-rw"][256]
+    # Fewer registers force more VCA spill/fill traffic (monotone).
+    assert series["vca-rw"][64] > series["vca-rw"][256]
+    # Conventional windows save traffic at 256 regs but explode at 128
+    # ("significant increases in window fills and spills").
+    assert series["conventional-rw"][256] < 1.0
+    assert series["conventional-rw"][128] > 1.3
+    # VCA traffic grows much more slowly than conventional windows as
+    # the register file shrinks.
+    vca_growth = series["vca-rw"][128] / series["vca-rw"][256]
+    conv_growth = (series["conventional-rw"][128]
+                   / series["conventional-rw"][256])
+    assert conv_growth > vca_growth

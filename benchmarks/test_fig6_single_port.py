@@ -1,0 +1,32 @@
+"""Figure 6: execution time with a single data-cache port.
+
+The same four machines with one DL1 port, normalized to the dual-port
+baseline at 256 registers.  The paper's headline: VCA's cache-traffic
+reduction is large enough that a single-port VCA machine effectively
+matches the dual-port baseline.
+"""
+
+from repro.experiments.report import render_series
+from repro.experiments.rw import fig4_execution_time, fig6_single_port
+
+
+def test_fig6_single_port(benchmark, rw_benches):
+    series = benchmark.pedantic(
+        fig6_single_port, kwargs={"benches": rw_benches},
+        rounds=1, iterations=1)
+    print()
+    print(render_series(
+        "Figure 6: single-port execution time (vs dual-port baseline"
+        " @256)", "phys regs", series))
+
+    # Single-port VCA at 256 regs effectively matches the dual-port
+    # baseline (paper: 0.5% slowdown; we allow a few percent either way).
+    assert series["vca-rw"][256] < 1.05
+    # ... and clearly beats the single-port baseline (paper: ~7%).
+    assert series["vca-rw"][256] < series["baseline"][256] * 0.97
+    # With 128 regs, single-port VCA beats even the dual-port baseline
+    # at 128 regs (paper: ~2.5% faster).
+    dual = fig4_execution_time(benches=rw_benches)
+    assert series["vca-rw"][128] < dual["baseline"][128]
+    # Port pressure hurts the baseline visibly (vs its dual-port self).
+    assert series["baseline"][256] > 1.02

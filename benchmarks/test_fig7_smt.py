@@ -1,0 +1,45 @@
+"""Figure 7: SMT weighted speedup, VCA vs conventional baseline.
+
+Two- and four-thread workloads (cluster representatives per the
+Section 3.2 methodology) swept over 64-448 physical registers.
+Speedups are weighted against single-thread baseline execution with
+256 registers.
+"""
+
+from repro.experiments.report import render_series
+from repro.experiments.smt import SMT_SIZES, fig7_smt
+
+
+def _peak(col):
+    return max(v for v in col.values() if v is not None)
+
+
+def test_fig7_smt(benchmark):
+    series = benchmark.pedantic(fig7_smt, rounds=1, iterations=1)
+    print()
+    print(render_series("Figure 7: SMT weighted speedup",
+                        "phys regs", series))
+
+    b2, b4 = series["baseline 2T"], series["baseline 4T"]
+    v2, v4 = series["vca 2T"], series["vca 4T"]
+
+    # The conventional machine cannot operate unless physical strictly
+    # exceeds architectural registers (128 for 2T, 256 for 4T).
+    assert b2[64] is None and b2[128] is None
+    assert all(b4[s] is None for s in (64, 128, 192, 256))
+    # VCA runs at every size, even with fewer physical than logical
+    # registers.
+    assert all(v is not None for v in v2.values())
+    assert all(v is not None for v in v4.values())
+
+    # VCA 2T at 192 regs reaches ~97% of the baseline's peak (paper);
+    # the baseline itself is well below its peak at that size (88%).
+    assert v2[192] >= 0.93 * _peak(b2)
+    assert b2[192] <= 0.92 * _peak(b2)
+    # VCA 4T at 192 regs is within a few percent of its own peak
+    # (paper: 98%+) and of the 448-register baseline.
+    assert v4[192] >= 0.95 * _peak(v4)
+    assert v4[192] >= 0.90 * _peak(b4)
+    # SMT delivers real throughput (weighted speedup > 1 at peak).
+    assert _peak(v2) > 1.0 and _peak(v4) > 1.0
+    assert set(v2) == set(SMT_SIZES)

@@ -1,0 +1,42 @@
+"""Figure 8: SMT combined with register windows on VCA.
+
+VCA runs the windowed ABI at 1, 2 and 4 threads against the
+non-windowed conventional baseline.  The paper's claim: combining the
+efficiencies of windows and SMT, VCA provides a higher speedup at
+every register-file size than the baseline, reaching ~98% of its peak
+with four threads on only 192 registers, where the conventional
+machine can support only two threads.
+"""
+
+from repro.experiments.report import render_series
+from repro.experiments.smt import fig8_smt_rw
+
+
+def _peak(col):
+    return max(v for v in col.values() if v is not None)
+
+
+def test_fig8_smt_rw(benchmark):
+    series = benchmark.pedantic(fig8_smt_rw, rounds=1, iterations=1)
+    print()
+    print(render_series("Figure 8: SMT + register windows",
+                        "phys regs", series))
+
+    v4 = series["vca-rw 4T"]
+    v2 = series["vca-rw 2T"]
+    v1 = series["vca-rw 1T"]
+    b2 = series["baseline 2T"]
+    b4 = series["baseline 4T"]
+
+    # VCA reaches ~98% of its four-thread peak at 192 registers.
+    assert v4[192] >= 0.95 * _peak(v4)
+    # At 192 registers the conventional machine supports only two
+    # threads, with substantially lower speedup (paper: 22% lower).
+    assert b4[192] is None
+    assert b2[192] is not None
+    assert v4[192] > b2[192] * 1.08
+    # More threads help VCA at every size they both run.
+    assert _peak(v4) > _peak(v2) > _peak(v1)
+    # Windowed VCA 4T at its peak is competitive with the non-windowed
+    # baseline's 448-register peak.
+    assert _peak(v4) >= 0.9 * _peak(b4)

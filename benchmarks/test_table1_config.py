@@ -1,0 +1,29 @@
+"""Table 1: baseline processor parameters.
+
+Not an experiment, but the contract every other benchmark relies on:
+the default machine configuration must encode exactly the paper's
+baseline.  The pytest-benchmark payload times machine construction.
+"""
+
+from repro.config import MachineConfig
+from repro.models import build_machine
+from repro.workloads.generator import benchmark_program
+
+
+def test_table1_parameters(benchmark):
+    cfg = MachineConfig.baseline()
+    assert cfg.width == 4
+    assert cfg.iq_size == 128
+    assert cfg.rob_size == 192
+    assert cfg.pipeline_depth == 8
+    assert cfg.dl1_ports == 2
+    assert cfg.dl1.size_bytes == 64 * 1024 and cfg.dl1.assoc == 4
+    assert cfg.dl1.hit_latency == 3
+    assert cfg.il1.size_bytes == 64 * 1024 and cfg.il1.hit_latency == 1
+    assert cfg.l2.size_bytes == 1024 * 1024 and cfg.l2.hit_latency == 15
+    assert cfg.mem_latency == 250
+    assert cfg.phys_regs == 256
+
+    prog = benchmark_program("gzip_graphic", "flat")
+    machine = benchmark(build_machine, "baseline", cfg, [prog])
+    assert machine.cfg.phys_regs == 256

@@ -1,0 +1,35 @@
+"""Table 2: windowed-to-flat dynamic path-length ratios.
+
+Regenerates every row with fast functional simulation of the two ABI
+lowerings and checks each ratio against the paper's value.
+"""
+
+from repro.experiments.report import render_table
+from repro.functional import measure_path_length
+from repro.workloads import TABLE2_RATIOS, build_benchmark
+from repro.workloads.profiles import RW_BENCHMARKS
+
+TOLERANCE = 0.02
+
+
+def _measure_all():
+    rows = []
+    for name in RW_BENCHMARKS:
+        r = measure_path_length(lambda: build_benchmark(name))
+        rows.append((name, TABLE2_RATIOS[name], r.ratio,
+                     r.flat.instructions, r.windowed.instructions))
+    return rows
+
+
+def test_table2_ratios(benchmark):
+    rows = benchmark.pedantic(_measure_all, rounds=1, iterations=1)
+    print()
+    print(render_table(
+        ["benchmark", "paper", "measured", "flat instrs", "win instrs"],
+        rows, title="Table 2: path length ratio (windowed / flat)"))
+    for name, paper, measured, _, _ in rows:
+        assert abs(measured - paper) <= TOLERANCE, (
+            f"{name}: measured {measured:.3f} vs paper {paper:.3f}")
+    avg = sum(r[2] for r in rows) / len(rows)
+    # Paper average: 0.92.
+    assert abs(avg - 0.92) <= 0.01, f"suite average {avg:.3f}"

@@ -1,0 +1,83 @@
+#!/usr/bin/env python3
+"""Quickstart: build a tiny program, run it on the four machines.
+
+Demonstrates the core public API end to end:
+
+1. Write a program once with :class:`ProgramBuilder`; lower it to the
+   flat ABI (explicit callee-save code) and the windowed ABI.
+2. Validate it with the functional interpreter.
+3. Run it through the cycle-level timing models — the conventional
+   baseline, the trap-based conventional register-window machine, the
+   idealised window machine, and the Virtual Context Architecture —
+   and compare cycles and data-cache traffic.
+
+Run: ``python examples/quickstart.py``
+"""
+
+from repro.asm import ProgramBuilder
+from repro.config import MachineConfig
+from repro.functional import FunctionalSim
+from repro.models import MODELS, build_machine, model_abi
+
+
+def build_demo() -> ProgramBuilder:
+    """A call-heavy toy program: main loops over a worker that uses
+    several callee-saved locals, so the flat ABI pays save/restore
+    loads and stores that register windows eliminate."""
+    pb = ProgramBuilder(name="demo")
+    out = pb.alloc(1)
+
+    main = pb.function("main", is_main=True)
+    main.li(8, 200)           # loop counter (windowed local)
+    main.li(9, 0)             # accumulator
+    main.label("loop")
+    main.mov(0, 9)            # argument
+    main.call("worker")
+    main.add(9, 9, 0)         # fold in the result
+    main.subi(8, 8, 1)
+    main.bne(8, "loop")
+    main.li(1, out)
+    main.st(9, 1, 0)
+    main.halt()
+
+    w = pb.function("worker")
+    locals_ = [10, 11, 12, 13, 14, 15]
+    for i, r in enumerate(locals_):
+        w.addi(r, 0, 3 * i + 1)       # initialise six locals
+    for r in locals_:
+        w.xor(10, 10, r)
+        w.add(0, 0, r)
+    w.ret()
+    return pb
+
+
+def main() -> None:
+    pb = build_demo()
+
+    # Golden reference: both ABI lowerings compute the same result.
+    flat = FunctionalSim(build_demo().assemble("flat"))
+    flat.run()
+    windowed = FunctionalSim(build_demo().assemble("windowed"))
+    windowed.run()
+    print("functional check:")
+    print(f"  flat     : {flat.stats.instructions:6d} instructions")
+    print(f"  windowed : {windowed.stats.instructions:6d} instructions "
+          f"(path ratio {windowed.stats.instructions / flat.stats.instructions:.3f})")
+
+    print("\ntiming models (256 physical registers):")
+    print(f"  {'model':16s} {'cycles':>8s} {'IPC':>6s} {'DL1 accesses':>13s}")
+    for model in sorted(MODELS):
+        prog = build_demo().assemble(model_abi(model))
+        machine = build_machine(model, MachineConfig.baseline(), [prog])
+        stats = machine.run()
+        print(f"  {model:16s} {stats.cycles:8d} {stats.ipc:6.2f} "
+              f"{stats.dl1_accesses:13d}")
+
+    print("\nThe windowed machines execute fewer instructions and make"
+          "\nfewer data-cache accesses; VCA achieves this with a"
+          "\nconventional-size register file by spilling and filling"
+          "\nindividual registers on demand.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,70 @@
+#!/usr/bin/env python3
+"""Register-file pressure study: how each machine degrades as the
+physical register file shrinks (the Figure 4 experiment on one
+benchmark, with VCA internals exposed).
+
+Uses the synthetic ``perlbmk_535`` benchmark — deep call recursion and
+heavy per-frame register pressure — and sweeps 64..256 physical
+registers, reporting execution time, spill/fill traffic and window
+traps for every machine.
+
+Run: ``python examples/register_pressure.py``
+"""
+
+from repro.config import MachineConfig
+from repro.models import build_machine, model_abi
+from repro.rename.base import UnrunnableConfigError
+from repro.workloads.generator import benchmark_program
+
+BENCH = "perlbmk_535"
+MODELS = ("baseline", "conventional-rw", "ideal-rw", "vca-rw")
+SIZES = (64, 96, 128, 192, 256)
+
+
+def main() -> None:
+    print(f"benchmark: {BENCH} (deep recursion, fat frames)\n")
+    header = (f"{'model':16s} " +
+              " ".join(f"{s:>9d}" for s in SIZES))
+    print("execution cycles per register-file size:")
+    print(header)
+    details = {}
+    for model in MODELS:
+        row = []
+        for size in SIZES:
+            prog = benchmark_program(BENCH, model_abi(model))
+            try:
+                machine = build_machine(
+                    model, MachineConfig.baseline(phys_regs=size), [prog])
+            except UnrunnableConfigError:
+                row.append(None)
+                continue
+            stats = machine.run()
+            row.append(stats)
+            details[(model, size)] = stats
+        print(f"{model:16s} " + " ".join(
+            f"{s.cycles:9d}" if s else f"{'--':>9s}" for s in row))
+
+    print("\nVCA spill/fill traffic (individual registers on demand):")
+    print(f"{'regs':>6s} {'spills':>8s} {'fills':>8s} {'DL1/instr':>10s}")
+    for size in SIZES:
+        s = details.get(("vca-rw", size))
+        if s:
+            print(f"{size:6d} {s.spills:8d} {s.fills:8d} "
+                  f"{s.dl1_accesses_per_instr:10.3f}")
+
+    print("\nconventional window machine trap behaviour (whole windows):")
+    print(f"{'regs':>6s} {'overflows':>10s} {'underflows':>11s} "
+          f"{'trap cycles':>12s}")
+    for size in SIZES:
+        s = details.get(("conventional-rw", size))
+        if s:
+            print(f"{size:6d} {s.window_overflows:10d} "
+                  f"{s.window_underflows:11d} {s.window_trap_cycles:12d}")
+
+    print("\nNote how VCA's traffic grows smoothly as registers shrink,"
+          "\nwhile the conventional machine pays bursty whole-window"
+          "\ntraps — the contrast at the heart of the paper's Figure 5.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,61 @@
+#!/usr/bin/env python3
+"""SMT throughput with VCA: four threads on a small register file.
+
+Reproduces the Section 4.2 story in miniature: a conventional SMT
+machine must hold every thread's full architectural state (64
+registers per thread) in the physical register file, so four threads
+cannot even boot below 257 registers.  VCA treats the register file as
+a cache of the memory-mapped register space, so it runs four threads
+on 192 registers at essentially full speed.
+
+Run: ``python examples/smt_throughput.py``
+"""
+
+from repro.config import MachineConfig
+from repro.models import build_machine
+from repro.rename.base import UnrunnableConfigError
+from repro.workloads.generator import benchmark_program
+
+#: A mixed four-thread workload: two compute-bound integer codes, one
+#: FP stream, one memory-bound pointer chaser.
+WORKLOAD = ("gzip_graphic", "crafty", "swim", "mcf")
+SIZES = (128, 192, 256, 320, 448)
+
+
+def run(model: str, size: int):
+    progs = [benchmark_program(b, "flat", thread=i)
+             for i, b in enumerate(WORKLOAD)]
+    try:
+        machine = build_machine(
+            model, MachineConfig.baseline(phys_regs=size), progs)
+    except UnrunnableConfigError:
+        return None
+    return machine.run(stop_at_first_halt=True)
+
+
+def main() -> None:
+    print("workload:", ", ".join(WORKLOAD), "\n")
+    print(f"{'regs':>6s} | {'baseline IPC':>13s} {'per-thread':>22s} | "
+          f"{'VCA IPC':>8s} {'per-thread':>22s} {'spills':>7s}")
+    for size in SIZES:
+        cells = []
+        for model in ("baseline", "vca"):
+            s = run(model, size)
+            if s is None:
+                cells.append((None, None, None))
+            else:
+                per = "/".join(f"{s.thread_ipc(i):.2f}"
+                               for i in range(len(WORKLOAD)))
+                cells.append((s.ipc, per, s.spills))
+        b, v = cells
+        bs = f"{b[0]:13.2f} {b[1]:>22s}" if b[0] else f"{'cannot run':>36s}"
+        vs = f"{v[0]:8.2f} {v[1]:>22s} {v[2]:7d}"
+        print(f"{size:6d} | {bs} | {vs}")
+
+    print("\nThe conventional machine needs >256 registers just to hold"
+          "\nfour architectural contexts; VCA runs the same workload on"
+          "\n192 by keeping only the active register values resident.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,11 @@
+"""Metrics and result aggregation."""
+
+from .metrics import (
+    accesses_per_work, geomean, normalized_time, weighted_cache_accesses,
+    weighted_speedup,
+)
+
+__all__ = [
+    "accesses_per_work", "geomean", "normalized_time",
+    "weighted_cache_accesses", "weighted_speedup",
+]

@@ -1,0 +1,16 @@
+"""Program construction, ABI lowering and the address-space layout."""
+
+from .builder import FunctionBuilder, ProgramBuilder
+from .layout import (
+    DATA_BASE, REG_SPACE_BASE, STACK_TOP, THREAD_STRIDE,
+    WINDOW_STRIDE_BYTES, thread_data_base, thread_global_base,
+    thread_stack_top, thread_window_base,
+)
+from .program import Program
+
+__all__ = [
+    "FunctionBuilder", "ProgramBuilder", "Program",
+    "DATA_BASE", "REG_SPACE_BASE", "STACK_TOP", "THREAD_STRIDE",
+    "WINDOW_STRIDE_BYTES", "thread_data_base", "thread_global_base",
+    "thread_stack_top", "thread_window_base",
+]

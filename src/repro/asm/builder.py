@@ -1,0 +1,397 @@
+"""Program construction and ABI lowering.
+
+The workload generators build programs once, at the *function* level,
+and the :class:`ProgramBuilder` lowers the same source to either ABI:
+
+* ``flat`` — the conventional ABI: windowed registers are callee-saved,
+  so every function that uses them gets a prologue that stores them to
+  the stack and an epilogue that reloads them (plus the return-address
+  register in non-leaf functions).
+* ``windowed`` — call/return shift the register window, so the
+  prologue/epilogue save/restore code disappears entirely.
+
+This mirrors the paper's methodology (Section 3.1), where gcc and glibc
+were modified to emit a windowed variant of Alpha; the eliminated
+save/restore loads and stores are precisely what produces the
+path-length ratios of Table 2.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple, Union
+
+from repro.isa.instruction import Instruction
+from repro.isa.opcodes import Op
+from repro.isa.registers import RA_REG, SP_REG, ZERO_REG, is_windowed
+
+from .layout import thread_data_base, thread_stack_top
+from .program import Program
+
+
+class TInstr:
+    """An instruction template: like :class:`Instruction` but with a
+    possibly symbolic branch target (local label or callee name)."""
+
+    __slots__ = ("op", "rd", "rs1", "rs2", "imm", "label", "func")
+
+    def __init__(self, op: Op, rd=None, rs1=None, rs2=None, imm=0,
+                 label: Optional[str] = None,
+                 func: Optional[str] = None) -> None:
+        self.op = op
+        self.rd = rd
+        self.rs1 = rs1
+        self.rs2 = rs2
+        self.imm = imm
+        self.label = label
+        self.func = func
+
+
+class TLabel:
+    """A local label marker inside a function body."""
+
+    __slots__ = ("name",)
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+
+
+BodyItem = Union[TInstr, TLabel]
+
+#: Sentinel opcode value marking "expand the epilogue + ret here".
+_RET_MARK = "__ret__"
+
+
+class FunctionBuilder:
+    """Accumulates the body of one function.
+
+    Windowed registers are treated as per-activation locals: the
+    builder rejects a read of a windowed register that has no earlier
+    (textual) write in the same function, because under the windowed
+    ABI each activation starts with a fresh window.  The return-address
+    register is exempt (the ``CALL`` opcode writes it on entry).
+    """
+
+    def __init__(self, name: str, is_main: bool = False) -> None:
+        self.name = name
+        self.is_main = is_main
+        self.body: List[BodyItem] = []
+        self.writes_windowed: set[int] = set()
+        self.makes_calls = False
+        self.frame_words = 0
+        self._halted = False
+        self._label_seq = 0
+
+    # -- local storage ---------------------------------------------------
+    def stack_slot(self, words: int = 1) -> int:
+        """Reserve ``words`` stack words; returns the byte offset from SP."""
+        off = self.frame_words * 8
+        self.frame_words += words
+        return off
+
+    def new_label(self, hint: str = "L") -> str:
+        self._label_seq += 1
+        return f"{hint}_{self._label_seq}"
+
+    # -- raw emission ------------------------------------------------------
+    def _check_read(self, reg: Optional[int]) -> None:
+        if (reg is not None and reg != RA_REG and is_windowed(reg)
+                and reg not in self.writes_windowed):
+            raise ValueError(
+                f"{self.name}: read of windowed register {reg} before any "
+                f"write; windowed registers are undefined on entry")
+
+    def emit(self, op: Op, rd=None, rs1=None, rs2=None, imm=0,
+             label: Optional[str] = None,
+             func: Optional[str] = None) -> None:
+        self._check_read(rs1)
+        self._check_read(rs2)
+        if rd is not None and is_windowed(rd):
+            self.writes_windowed.add(rd)
+        self.body.append(TInstr(op, rd, rs1, rs2, imm, label, func))
+
+    def label(self, name: str) -> None:
+        self.body.append(TLabel(name))
+
+    # -- integer ops -------------------------------------------------------
+    def add(self, rd, rs1, rs2):
+        self.emit(Op.ADD, rd, rs1, rs2)
+
+    def sub(self, rd, rs1, rs2):
+        self.emit(Op.SUB, rd, rs1, rs2)
+
+    def mul(self, rd, rs1, rs2):
+        self.emit(Op.MUL, rd, rs1, rs2)
+
+    def and_(self, rd, rs1, rs2):
+        self.emit(Op.AND, rd, rs1, rs2)
+
+    def or_(self, rd, rs1, rs2):
+        self.emit(Op.OR, rd, rs1, rs2)
+
+    def xor(self, rd, rs1, rs2):
+        self.emit(Op.XOR, rd, rs1, rs2)
+
+    def sll(self, rd, rs1, rs2):
+        self.emit(Op.SLL, rd, rs1, rs2)
+
+    def srl(self, rd, rs1, rs2):
+        self.emit(Op.SRL, rd, rs1, rs2)
+
+    def cmpeq(self, rd, rs1, rs2):
+        self.emit(Op.CMPEQ, rd, rs1, rs2)
+
+    def cmplt(self, rd, rs1, rs2):
+        self.emit(Op.CMPLT, rd, rs1, rs2)
+
+    def cmple(self, rd, rs1, rs2):
+        self.emit(Op.CMPLE, rd, rs1, rs2)
+
+    def addi(self, rd, rs1, imm):
+        self.emit(Op.ADDI, rd, rs1, imm=imm)
+
+    def subi(self, rd, rs1, imm):
+        self.emit(Op.SUBI, rd, rs1, imm=imm)
+
+    def muli(self, rd, rs1, imm):
+        self.emit(Op.MULI, rd, rs1, imm=imm)
+
+    def andi(self, rd, rs1, imm):
+        self.emit(Op.ANDI, rd, rs1, imm=imm)
+
+    def ori(self, rd, rs1, imm):
+        self.emit(Op.ORI, rd, rs1, imm=imm)
+
+    def xori(self, rd, rs1, imm):
+        self.emit(Op.XORI, rd, rs1, imm=imm)
+
+    def slli(self, rd, rs1, imm):
+        self.emit(Op.SLLI, rd, rs1, imm=imm)
+
+    def srli(self, rd, rs1, imm):
+        self.emit(Op.SRLI, rd, rs1, imm=imm)
+
+    def cmpeqi(self, rd, rs1, imm):
+        self.emit(Op.CMPEQI, rd, rs1, imm=imm)
+
+    def cmplti(self, rd, rs1, imm):
+        self.emit(Op.CMPLTI, rd, rs1, imm=imm)
+
+    def li(self, rd, imm):
+        self.emit(Op.LDI, rd, imm=imm)
+
+    def mov(self, rd, rs1):
+        self.emit(Op.ADD, rd, rs1, ZERO_REG)
+
+    # -- memory ops ----------------------------------------------------------
+    def ld(self, rd, base, off=0):
+        self.emit(Op.LD, rd, base, imm=off)
+
+    def st(self, rs2, base, off=0):
+        self.emit(Op.ST, rs1=base, rs2=rs2, imm=off)
+
+    def fld(self, fd, base, off=0):
+        self.emit(Op.FLD, fd, base, imm=off)
+
+    def fst(self, fs2, base, off=0):
+        self.emit(Op.FST, rs1=base, rs2=fs2, imm=off)
+
+    # -- floating point -------------------------------------------------------
+    def fadd(self, fd, fs1, fs2):
+        self.emit(Op.FADD, fd, fs1, fs2)
+
+    def fsub(self, fd, fs1, fs2):
+        self.emit(Op.FSUB, fd, fs1, fs2)
+
+    def fmul(self, fd, fs1, fs2):
+        self.emit(Op.FMUL, fd, fs1, fs2)
+
+    def fdiv(self, fd, fs1, fs2):
+        self.emit(Op.FDIV, fd, fs1, fs2)
+
+    def fcmplt(self, fd, fs1, fs2):
+        self.emit(Op.FCMPLT, fd, fs1, fs2)
+
+    def fcmpeq(self, fd, fs1, fs2):
+        self.emit(Op.FCMPEQ, fd, fs1, fs2)
+
+    def fmov(self, fd, fs1):
+        self.emit(Op.FMOV, fd, fs1)
+
+    def itof(self, fd, rs1):
+        self.emit(Op.ITOF, fd, rs1)
+
+    def ftoi(self, rd, fs1):
+        self.emit(Op.FTOI, rd, fs1)
+
+    # -- control flow -----------------------------------------------------------
+    def beq(self, rs1, label):
+        self.emit(Op.BEQ, rs1=rs1, label=label)
+
+    def bne(self, rs1, label):
+        self.emit(Op.BNE, rs1=rs1, label=label)
+
+    def blt(self, rs1, label):
+        self.emit(Op.BLT, rs1=rs1, label=label)
+
+    def bge(self, rs1, label):
+        self.emit(Op.BGE, rs1=rs1, label=label)
+
+    def fbeq(self, fs1, label):
+        self.emit(Op.FBEQ, rs1=fs1, label=label)
+
+    def fbne(self, fs1, label):
+        self.emit(Op.FBNE, rs1=fs1, label=label)
+
+    def br(self, label):
+        self.emit(Op.BR, label=label)
+
+    def call(self, func: str) -> None:
+        self.makes_calls = True
+        # CALL writes the return address; under the flat ABI that makes
+        # RA a clobbered callee-saved register this function must save.
+        self.writes_windowed.add(RA_REG)
+        self.body.append(TInstr(Op.CALL, rd=RA_REG, func=func))
+
+    def ret(self) -> None:
+        """Return from the function (the epilogue expands here)."""
+        if self.is_main:
+            raise ValueError("main must end with halt(), not ret()")
+        self.body.append(_RET_MARK)
+
+    def halt(self) -> None:
+        if not self.is_main:
+            raise ValueError("only main may halt")
+        self.body.append(TInstr(Op.HALT))
+        self._halted = True
+
+    def nop(self) -> None:
+        self.emit(Op.NOP)
+
+
+class ProgramBuilder:
+    """Collects functions and static data; assembles to either ABI."""
+
+    def __init__(self, thread: int = 0, name: str = "") -> None:
+        self.thread = thread
+        self.name = name
+        self.functions: Dict[str, FunctionBuilder] = {}
+        self.data: Dict[int, int] = {}
+        self._data_base = thread_data_base(thread)
+        self._stack_top = thread_stack_top(thread)
+        self._brk = self._data_base
+
+    # -- data segment ------------------------------------------------------
+    def alloc(self, words: int, init: int = 0) -> int:
+        """Allocate ``words`` 8-byte words of static data; returns address."""
+        addr = self._brk
+        self._brk += words * 8
+        if init:
+            for i in range(words):
+                self.data[addr + i * 8] = init
+        return addr
+
+    def word(self, addr: int, value: int) -> None:
+        """Set an initial data-segment word."""
+        self.data[addr] = value
+
+    # -- functions ---------------------------------------------------------
+    def function(self, name: str, is_main: bool = False) -> FunctionBuilder:
+        if name in self.functions:
+            raise ValueError(f"duplicate function {name!r}")
+        fb = FunctionBuilder(name, is_main=is_main)
+        self.functions[name] = fb
+        return fb
+
+    # -- assembly ------------------------------------------------------------
+    def assemble(self, abi: str) -> Program:
+        """Lower every function for ``abi`` and link the image."""
+        if abi not in ("flat", "windowed"):
+            raise ValueError(f"unknown ABI {abi!r}")
+        if "main" not in self.functions:
+            raise ValueError("program has no main")
+        if not self.functions["main"]._halted:
+            raise ValueError("main does not halt")
+        for fb in self.functions.values():
+            if fb.name != "main" and not any(
+                    item is _RET_MARK for item in fb.body):
+                raise ValueError(f"function {fb.name!r} never returns")
+
+        # Lay main out first so the entry PC is 0.
+        order = ["main"] + sorted(n for n in self.functions if n != "main")
+        symbols: Dict[str, int] = {}
+        labels: Dict[Tuple[str, str], int] = {}
+        lowered: List[Tuple[str, List[TInstr]]] = []
+        pc = 0
+        for fname in order:
+            items = self._lower(self.functions[fname], abi)
+            symbols[fname] = pc
+            flat_items: List[TInstr] = []
+            for item in items:
+                if isinstance(item, TLabel):
+                    key = (fname, item.name)
+                    if key in labels:
+                        raise ValueError(
+                            f"duplicate label {item.name!r} in {fname}")
+                    labels[key] = pc
+                else:
+                    flat_items.append(item)
+                    pc += 1
+            lowered.append((fname, flat_items))
+
+        code: List[Instruction] = []
+        for fname, items in lowered:
+            for t in items:
+                target = None
+                if t.func is not None:
+                    if t.func not in symbols:
+                        raise ValueError(
+                            f"{fname}: call to unknown function {t.func!r}")
+                    target = symbols[t.func]
+                elif t.label is not None:
+                    key = (fname, t.label)
+                    if key not in labels:
+                        raise ValueError(
+                            f"{fname}: unknown label {t.label!r}")
+                    target = labels[key]
+                code.append(Instruction(t.op, rd=t.rd, rs1=t.rs1,
+                                        rs2=t.rs2, imm=t.imm, target=target))
+        return Program(code, entry=symbols["main"], abi=abi,
+                       data=dict(self.data), symbols=symbols,
+                       data_base=self._data_base,
+                       stack_top=self._stack_top, thread=self.thread,
+                       name=self.name, data_end=self._brk)
+
+    # ------------------------------------------------------------------
+    def _lower(self, fb: FunctionBuilder, abi: str) -> List[BodyItem]:
+        """Insert the ABI-appropriate prologue and expand ret markers."""
+        save_regs: List[int] = []
+        if abi == "flat":
+            save_regs = sorted(fb.writes_windowed)
+        frame_bytes = (fb.frame_words + len(save_regs)) * 8
+        save_base = fb.frame_words * 8  # saves sit above data locals
+
+        out: List[BodyItem] = []
+        if frame_bytes:
+            out.append(TInstr(Op.SUBI, rd=SP_REG, rs1=SP_REG,
+                              imm=frame_bytes))
+        for i, reg in enumerate(save_regs):
+            op = Op.FST if reg >= 32 else Op.ST
+            out.append(TInstr(op, rs1=SP_REG, rs2=reg,
+                              imm=save_base + i * 8))
+
+        epilogue: List[TInstr] = []
+        for i, reg in enumerate(save_regs):
+            op = Op.FLD if reg >= 32 else Op.LD
+            epilogue.append(TInstr(op, rd=reg, rs1=SP_REG,
+                                   imm=save_base + i * 8))
+        if frame_bytes:
+            epilogue.append(TInstr(Op.ADDI, rd=SP_REG, rs1=SP_REG,
+                                   imm=frame_bytes))
+
+        for item in fb.body:
+            if item is _RET_MARK:
+                out.extend(epilogue)
+                out.append(TInstr(Op.RET, rs1=RA_REG))
+            else:
+                out.append(item)
+        return out

@@ -1,0 +1,72 @@
+"""Address-space layout shared by the loader, the functional simulator
+and the timing models.
+
+Each hardware thread runs a self-contained program image in a disjoint
+address range (the SMT workloads of Section 4.2 are multiprogrammed,
+not shared-memory).  The VCA register backing store lives in a distant
+region so ordinary program data can never alias the memory-mapped
+logical register file — the paper explicitly provides no coherence
+between the two (Section 2.2.2).
+"""
+
+from __future__ import annotations
+
+from repro.isa.registers import GLOBAL_REGS, WINDOW_REGS
+
+#: First address of the data segment of thread 0.
+DATA_BASE = 0x0001_0000
+#: Initial stack pointer of thread 0 (stack grows down).
+STACK_TOP = 0x00F0_0000
+#: Address-space stride between threads.
+THREAD_STRIDE = 0x0100_0000
+
+#: Base of the memory-mapped logical register space (Section 2.1.1).
+REG_SPACE_BASE = 0x4000_0000_0000
+#: Register-space stride between threads.
+REG_SPACE_THREAD_STRIDE = 1 << 20
+
+#: Byte stride of one register-window frame.  A frame holds
+#: ``WINDOW_REGS`` (46) live registers but is padded to a power of two
+#: so that no frame straddles an RSID register-space boundary — the
+#: alignment restriction Section 2.2.1 imposes to let base pointers
+#: cache their RSID.
+WINDOW_STRIDE_BYTES = 512
+assert WINDOW_REGS * 8 <= WINDOW_STRIDE_BYTES
+
+#: Offset of the window stack within a thread's register space.  The
+#: global (non-windowed) frame sits at offset 0 in its own 64 KiB
+#: register space; the window stack starts in the next space.
+GLOBAL_FRAME_BYTES = len(GLOBAL_REGS) * 8
+WINDOW_STACK_OFFSET = 1 << 16
+
+
+def thread_data_base(thread: int) -> int:
+    """Base of the data segment for ``thread``."""
+    return DATA_BASE + thread * THREAD_STRIDE
+
+
+def thread_stack_top(thread: int) -> int:
+    """Initial stack pointer for ``thread``."""
+    return STACK_TOP + thread * THREAD_STRIDE
+
+
+def thread_global_base(thread: int) -> int:
+    """Base pointer of the global (non-windowed) register frame.
+
+    Register spaces are 64 KiB-aligned (the RSID alignment rule), but
+    a frame placed at offset zero of every space would land in the
+    same handful of DL1 sets for every thread — an aliasing artefact a
+    real system's physical page placement would never produce.  Each
+    thread's frame is therefore scattered to a different offset within
+    its space.
+    """
+    offset = ((thread * 37 + 11) % 400) * 160
+    return REG_SPACE_BASE + thread * REG_SPACE_THREAD_STRIDE + offset
+
+
+def thread_window_base(thread: int) -> int:
+    """Base pointer of the first register window (scattered within its
+    space like the global frame; see :func:`thread_global_base`)."""
+    offset = ((thread * 13 + 5) % 32) * WINDOW_STRIDE_BYTES
+    return (REG_SPACE_BASE + thread * REG_SPACE_THREAD_STRIDE
+            + WINDOW_STACK_OFFSET + offset)

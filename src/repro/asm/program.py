@@ -1,0 +1,72 @@
+"""Assembled program images."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.isa.instruction import Instruction
+
+
+class Program:
+    """A fully assembled, loadable VRISC binary.
+
+    Attributes:
+        code: the instruction sequence; PCs index into this list.
+        entry: PC of the first instruction to execute.
+        abi: ``"flat"`` or ``"windowed"``.
+        data: initial data-segment contents, 8-byte word values keyed
+            by byte address.
+        symbols: function name -> entry PC.
+        data_base / stack_top: the layout this image was linked for.
+        thread: the hardware thread the image was linked for.
+    """
+
+    def __init__(self, code: List[Instruction], entry: int, abi: str,
+                 data: Dict[int, int], symbols: Dict[str, int],
+                 data_base: int, stack_top: int, thread: int = 0,
+                 name: str = "", data_end: Optional[int] = None) -> None:
+        if abi not in ("flat", "windowed"):
+            raise ValueError(f"unknown ABI {abi!r}")
+        self.code = code
+        self.entry = entry
+        self.abi = abi
+        self.data = data
+        self.symbols = symbols
+        self.data_base = data_base
+        #: One past the highest allocated data address (cache warm-up).
+        self.data_end = data_end if data_end is not None else data_base
+        self.stack_top = stack_top
+        self.thread = thread
+        self.name = name
+        self._func_of_pc: Optional[List[str]] = None
+
+    def __len__(self) -> int:
+        return len(self.code)
+
+    @property
+    def windowed(self) -> bool:
+        return self.abi == "windowed"
+
+    def function_at(self, pc: int) -> str:
+        """Name of the function containing ``pc`` (for diagnostics)."""
+        if self._func_of_pc is None:
+            spans: List[Tuple[int, str]] = sorted(
+                (addr, fname) for fname, addr in self.symbols.items())
+            table = [""] * len(self.code)
+            for i, (addr, fname) in enumerate(spans):
+                end = spans[i + 1][0] if i + 1 < len(spans) else len(table)
+                for p in range(addr, end):
+                    table[p] = fname
+            self._func_of_pc = table
+        return self._func_of_pc[pc]
+
+    def disassemble(self, lo: int = 0, hi: Optional[int] = None) -> str:
+        """Textual listing of ``code[lo:hi]``."""
+        hi = len(self.code) if hi is None else hi
+        rev = {addr: fname for fname, addr in self.symbols.items()}
+        lines = []
+        for pc in range(lo, hi):
+            if pc in rev:
+                lines.append(f"{rev[pc]}:")
+            lines.append(f"  {pc:6d}  {self.code[pc].disassemble()}")
+        return "\n".join(lines)

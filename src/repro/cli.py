@@ -1,0 +1,191 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands mirror the paper's evaluation:
+
+* ``list`` — available machine models and benchmarks.
+* ``run`` — simulate one configuration and print its statistics.
+* ``table2`` — regenerate the Table 2 path-length ratios.
+* ``fig4`` / ``fig5`` / ``fig6`` — the register-window sweeps.
+* ``fig7`` / ``fig8`` — the SMT studies.
+* ``sec43`` — the 4-thread cache-traffic comparison.
+* ``disasm`` — disassemble a generated benchmark binary.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.config import MachineConfig
+from repro.models import MODELS, build_machine, model_abi
+from repro.workloads import ALL_BENCHMARKS, RW_BENCHMARKS, TABLE2_RATIOS
+
+
+def _cmd_list(args) -> int:
+    print("machine models:")
+    for name in sorted(MODELS):
+        print(f"  {name:16s} ({model_abi(name)} ABI)")
+    print("\nregister-window suite (Table 2):")
+    for name in RW_BENCHMARKS:
+        print(f"  {name:16s} paper ratio {TABLE2_RATIOS[name]:.2f}")
+    print("\nadditional SMT-pool benchmarks:")
+    for name in ALL_BENCHMARKS:
+        if name not in RW_BENCHMARKS:
+            print(f"  {name}")
+    return 0
+
+
+def _cmd_run(args) -> int:
+    from repro.workloads.generator import benchmark_program
+
+    benches = args.bench
+    abi = model_abi(args.model)
+    programs = [benchmark_program(b, abi, thread=i, scale=args.scale)
+                for i, b in enumerate(benches)]
+    cfg = MachineConfig.baseline(phys_regs=args.regs,
+                                 dl1_ports=args.ports)
+    machine = build_machine(args.model, cfg, programs)
+    stats = machine.run(stop_at_first_halt=len(benches) > 1)
+    print(f"model={args.model} regs={args.regs} ports={args.ports} "
+          f"benches={','.join(benches)}")
+    print(stats.summary())
+    return 0
+
+
+def _cmd_table2(args) -> int:
+    from repro.experiments.report import render_table
+    from repro.functional import measure_path_length
+    from repro.workloads import build_benchmark
+
+    rows = []
+    for name in RW_BENCHMARKS:
+        r = measure_path_length(lambda: build_benchmark(name))
+        rows.append((name, TABLE2_RATIOS[name], r.ratio))
+    print(render_table(["benchmark", "paper", "measured"], rows,
+                       title="Table 2: windowed/flat path-length ratio"))
+    return 0
+
+
+def _emit_series(series, title, args) -> int:
+    from repro.experiments.report import render_series
+    print(render_series(title, "phys regs", series))
+    if getattr(args, "csv", None):
+        from repro.experiments.export import write_series_csv
+        out = write_series_csv(args.csv, "phys_regs", series)
+        print(f"\n(wrote {out})")
+    return 0
+
+
+def _rw_figure(fn, title, args) -> int:
+    benches = args.bench or list(RW_BENCHMARKS)
+    series = fn(benches=tuple(benches), scale=args.scale)
+    return _emit_series(series, title, args)
+
+
+def _cmd_fig4(args) -> int:
+    from repro.experiments.rw import fig4_execution_time
+    return _rw_figure(fig4_execution_time,
+                      "Figure 4: normalized execution time", args)
+
+
+def _cmd_fig5(args) -> int:
+    from repro.experiments.rw import fig5_cache_accesses
+    return _rw_figure(fig5_cache_accesses,
+                      "Figure 5: normalized data-cache accesses", args)
+
+
+def _cmd_fig6(args) -> int:
+    from repro.experiments.rw import fig6_single_port
+    return _rw_figure(fig6_single_port,
+                      "Figure 6: single-port execution time", args)
+
+
+def _cmd_fig7(args) -> int:
+    from repro.experiments.smt import fig7_smt
+    return _emit_series(fig7_smt(scale=args.scale),
+                        "Figure 7: SMT weighted speedup", args)
+
+
+def _cmd_fig8(args) -> int:
+    from repro.experiments.smt import fig8_smt_rw
+    return _emit_series(fig8_smt_rw(scale=args.scale),
+                        "Figure 8: SMT + register windows", args)
+
+
+def _cmd_sec43(args) -> int:
+    from repro.experiments.report import render_table
+    from repro.experiments.smt import sec43_cache_traffic
+    apw = sec43_cache_traffic(scale=args.scale)
+    print(render_table(["machine", "DL1 accesses / flat-equiv instr"],
+                       sorted(apw.items()),
+                       title="Section 4.3: 4-thread cache traffic"))
+    return 0
+
+
+def _cmd_disasm(args) -> int:
+    from repro.workloads.generator import benchmark_program
+    prog = benchmark_program(args.bench[0], args.abi)
+    text = prog.disassemble()
+    lines = text.splitlines()
+    print("\n".join(lines[:args.limit]))
+    if len(lines) > args.limit:
+        print(f"... ({len(lines) - args.limit} more lines)")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Reproduction of 'How to Fake 1000 Registers' "
+                    "(MICRO 2005)")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list models and benchmarks") \
+        .set_defaults(fn=_cmd_list)
+
+    run = sub.add_parser("run", help="simulate one configuration")
+    run.add_argument("--model", choices=sorted(MODELS), default="vca-rw")
+    run.add_argument("--bench", nargs="+", default=["gzip_graphic"],
+                     metavar="NAME",
+                     help="one benchmark per hardware thread")
+    run.add_argument("--regs", type=int, default=256)
+    run.add_argument("--ports", type=int, default=2)
+    run.add_argument("--scale", type=float, default=1.0)
+    run.set_defaults(fn=_cmd_run)
+
+    for name, fn, with_bench in [
+            ("table2", _cmd_table2, False),
+            ("fig4", _cmd_fig4, True), ("fig5", _cmd_fig5, True),
+            ("fig6", _cmd_fig6, True), ("fig7", _cmd_fig7, False),
+            ("fig8", _cmd_fig8, False), ("sec43", _cmd_sec43, False)]:
+        p = sub.add_parser(name, help=f"regenerate {name}")
+        if with_bench:
+            p.add_argument("--bench", nargs="+", default=None,
+                           metavar="NAME")
+        p.add_argument("--scale", type=float, default=1.0)
+        p.add_argument("--csv", metavar="PATH", default=None,
+                       help="also write the series as CSV")
+        p.set_defaults(fn=fn)
+
+    dis = sub.add_parser("disasm", help="disassemble a benchmark")
+    dis.add_argument("--bench", nargs=1, default=["gzip_graphic"])
+    dis.add_argument("--abi", choices=["flat", "windowed"],
+                     default="windowed")
+    dis.add_argument("--limit", type=int, default=60)
+    dis.set_defaults(fn=_cmd_disasm)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    for bench in getattr(args, "bench", None) or []:
+        if bench not in ALL_BENCHMARKS:
+            parser.error(f"unknown benchmark {bench!r}; "
+                         f"see `python -m repro list`")
+    return args.fn(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,22 @@
+"""Experiment drivers that regenerate every table and figure of the
+paper's evaluation (Section 4)."""
+
+from .report import render_series, render_table
+from .runner import RunResult, default_scale, path_ratio, run_point
+from .rw import (
+    REG_SIZES, RW_MODELS, fig4_execution_time, fig5_cache_accesses,
+    fig6_single_port, rw_sweep,
+)
+from .smt import (
+    SMT_SIZES, fig7_smt, fig8_smt_rw, sec43_cache_traffic,
+    select_workloads, smt_speedup_series, weighted_speedup_of,
+)
+
+__all__ = [
+    "render_series", "render_table", "RunResult", "default_scale",
+    "path_ratio", "run_point", "REG_SIZES", "RW_MODELS",
+    "fig4_execution_time", "fig5_cache_accesses", "fig6_single_port",
+    "rw_sweep", "SMT_SIZES", "fig7_smt", "fig8_smt_rw",
+    "sec43_cache_traffic", "select_workloads", "smt_speedup_series",
+    "weighted_speedup_of",
+]

@@ -1,0 +1,44 @@
+"""CSV export of figure series, for external plotting.
+
+``python -m repro fig4 --csv out.csv`` writes the same data the text
+table shows, one row per (series, x) point — directly loadable by
+pandas/gnuplot/Excel.
+"""
+
+from __future__ import annotations
+
+import csv
+from pathlib import Path
+from typing import Dict, Optional
+
+
+def write_series_csv(path: str, x_name: str,
+                     series: Dict[str, Dict[int, Optional[float]]]) -> Path:
+    """Write a figure's series to ``path``; returns the Path written.
+
+    Unrunnable points (``None``) are emitted with an empty value cell
+    so plots show the gap rather than a zero.
+    """
+    out = Path(path)
+    xs = sorted({x for col in series.values() for x in col})
+    with out.open("w", newline="") as fh:
+        writer = csv.writer(fh)
+        writer.writerow(["series", x_name, "value"])
+        for name, col in series.items():
+            for x in xs:
+                v = col.get(x)
+                writer.writerow([name, x, "" if v is None else f"{v:.6f}"])
+    return out
+
+
+def read_series_csv(path: str) -> Dict[str, Dict[int, Optional[float]]]:
+    """Inverse of :func:`write_series_csv` (round-trip testing)."""
+    series: Dict[str, Dict[int, Optional[float]]] = {}
+    with Path(path).open() as fh:
+        reader = csv.DictReader(fh)
+        for row in reader:
+            col = series.setdefault(row["series"], {})
+            v = row["value"]
+            col[int(row[reader.fieldnames[1]])] = (
+                None if v == "" else float(v))
+    return series

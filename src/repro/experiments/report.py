@@ -1,0 +1,43 @@
+"""Plain-text rendering of result tables and figure series."""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Sequence
+
+
+def render_table(headers: Sequence[str], rows: Sequence[Sequence],
+                 title: str = "") -> str:
+    """Fixed-width table; floats are shown with three decimals."""
+    def fmt(v) -> str:
+        if isinstance(v, float):
+            return f"{v:.3f}"
+        if v is None:
+            return "--"
+        return str(v)
+
+    cells = [[fmt(v) for v in row] for row in rows]
+    widths = [max(len(h), *(len(r[i]) for r in cells)) if cells else len(h)
+              for i, h in enumerate(headers)]
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in cells:
+        lines.append("  ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def render_series(title: str, x_name: str,
+                  series: Dict[str, Dict[int, Optional[float]]]) -> str:
+    """A figure as a table: one column per series, one row per x.
+
+    ``None`` values render as ``--`` (the paper's "No Baseline"
+    annotations for unrunnable configurations).
+    """
+    xs = sorted({x for ys in series.values() for x in ys})
+    headers = [x_name] + list(series)
+    rows = []
+    for x in xs:
+        rows.append([x] + [series[name].get(x) for name in series])
+    return render_table(headers, rows, title=title)

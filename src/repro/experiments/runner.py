@@ -1,0 +1,185 @@
+"""Experiment execution with content-addressed result caching.
+
+Every figure in the paper is a sweep over (machine model, physical
+register count, cache ports, workload); sweeps share many points, so
+results are cached on disk keyed by the run parameters *and a hash of
+the package source* — any code change invalidates stale results
+automatically.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from dataclasses import asdict, dataclass, field
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import repro
+from repro.config import MachineConfig
+from repro.functional import measure_path_length
+from repro.models import build_machine, model_abi
+from repro.rename.base import UnrunnableConfigError
+from repro.workloads import build_benchmark
+from repro.workloads.generator import benchmark_program
+
+_CACHE_DIR = Path(os.environ.get(
+    "REPRO_CACHE_DIR", Path(__file__).resolve().parents[3] / ".repro_cache"))
+
+_source_hash: Optional[str] = None
+
+
+def source_hash() -> str:
+    """Hash of the package sources (cache-invalidation key)."""
+    global _source_hash
+    if _source_hash is None:
+        h = hashlib.sha1()
+        root = Path(repro.__file__).parent
+        for path in sorted(root.rglob("*.py")):
+            h.update(path.read_bytes())
+        _source_hash = h.hexdigest()[:16]
+    return _source_hash
+
+
+@dataclass(frozen=True)
+class RunResult:
+    """Serializable summary of one timing-simulation run."""
+
+    model: str
+    benches: Tuple[str, ...]
+    phys_regs: int
+    dl1_ports: int
+    scale: float
+    cycles: int = 0
+    committed: Tuple[int, ...] = ()
+    thread_ipcs: Tuple[float, ...] = ()
+    dl1_accesses: int = 0
+    dl1_breakdown: Dict[str, int] = field(default_factory=dict)
+    dl1_miss_rate: float = 0.0
+    l2_miss_rate: float = 0.0
+    mispredict_rate: float = 0.0
+    spills: int = 0
+    fills: int = 0
+    window_overflows: int = 0
+    window_underflows: int = 0
+    rsid_flushes: int = 0
+    stats_vector: Tuple[float, ...] = ()
+    unrunnable: bool = False
+
+    @property
+    def ipc(self) -> float:
+        return sum(self.committed) / self.cycles if self.cycles else 0.0
+
+    @property
+    def dl1_per_instr(self) -> float:
+        c = sum(self.committed)
+        return self.dl1_accesses / c if c else 0.0
+
+
+def _cache_key(**params) -> str:
+    blob = json.dumps({"src": source_hash(), **params}, sort_keys=True)
+    return hashlib.sha1(blob.encode()).hexdigest()
+
+
+def _cache_load(key: str) -> Optional[dict]:
+    path = _CACHE_DIR / f"{key}.json"
+    if path.exists():
+        try:
+            return json.loads(path.read_text())
+        except (OSError, json.JSONDecodeError):  # pragma: no cover
+            return None
+    return None
+
+
+def _cache_store(key: str, payload: dict) -> None:
+    _CACHE_DIR.mkdir(parents=True, exist_ok=True)
+    tmp = _CACHE_DIR / f"{key}.tmp"
+    tmp.write_text(json.dumps(payload))
+    tmp.replace(_CACHE_DIR / f"{key}.json")
+
+
+def _deserialize(d: dict) -> RunResult:
+    d = dict(d)
+    for k in ("benches", "committed", "thread_ipcs", "stats_vector"):
+        if k in d:
+            d[k] = tuple(d[k])
+    return RunResult(**d)
+
+
+def run_point(model: str, benches: Sequence[str], phys_regs: int,
+              dl1_ports: int = 2, scale: float = 1.0,
+              use_cache: bool = True) -> RunResult:
+    """Simulate one configuration (cached).
+
+    ``benches`` holds one benchmark name per hardware thread.
+    Configurations the machine cannot operate at (e.g. a conventional
+    machine without enough registers) return a result flagged
+    ``unrunnable`` rather than raising, so sweeps can chart the
+    paper's "No Baseline" regions.
+    """
+    benches = tuple(benches)
+    key = _cache_key(model=model, benches=benches, phys_regs=phys_regs,
+                     dl1_ports=dl1_ports, scale=scale)
+    if use_cache:
+        cached = _cache_load(key)
+        if cached is not None:
+            return _deserialize(cached)
+
+    abi = model_abi(model)
+    programs = [benchmark_program(name, abi, thread=i, scale=scale)
+                for i, name in enumerate(benches)]
+    cfg = MachineConfig.baseline(phys_regs=phys_regs,
+                                 dl1_ports=dl1_ports)
+    try:
+        machine = build_machine(model, cfg, programs)
+    except UnrunnableConfigError:
+        result = RunResult(model=model, benches=benches,
+                           phys_regs=phys_regs, dl1_ports=dl1_ports,
+                           scale=scale, unrunnable=True)
+        if use_cache:
+            _cache_store(key, asdict(result))
+        return result
+
+    stats = machine.run(stop_at_first_halt=len(benches) > 1)
+    from repro.workloads.clustering import benchmark_vector
+    vector = tuple(float(v) for v in benchmark_vector(stats)) \
+        if len(benches) == 1 else ()
+    result = RunResult(
+        model=model, benches=benches, phys_regs=phys_regs,
+        dl1_ports=dl1_ports, scale=scale, cycles=stats.cycles,
+        committed=tuple(t.committed for t in stats.threads),
+        thread_ipcs=tuple(stats.thread_ipc(i)
+                          for i in range(len(benches))),
+        dl1_accesses=stats.dl1_accesses,
+        dl1_breakdown=stats.dl1_breakdown,
+        dl1_miss_rate=stats.dl1_miss_rate,
+        l2_miss_rate=stats.l2_miss_rate,
+        mispredict_rate=stats.mispredict_rate,
+        spills=stats.spills, fills=stats.fills,
+        window_overflows=stats.window_overflows,
+        window_underflows=stats.window_underflows,
+        rsid_flushes=stats.rsid_flushes,
+        stats_vector=vector)
+    if use_cache:
+        _cache_store(key, asdict(result))
+    return result
+
+
+def path_ratio(bench: str, use_cache: bool = True) -> float:
+    """Windowed/flat dynamic path-length ratio of one benchmark
+    (functional simulation; cached)."""
+    key = _cache_key(kind="path_ratio", bench=bench)
+    if use_cache:
+        cached = _cache_load(key)
+        if cached is not None:
+            return cached["ratio"]
+    ratio = measure_path_length(lambda: build_benchmark(bench)).ratio
+    if use_cache:
+        _cache_store(key, {"ratio": ratio})
+    return ratio
+
+
+def default_scale() -> float:
+    """Workload scale factor; REPRO_SCALE trades fidelity for speed."""
+    return float(os.environ.get("REPRO_SCALE", "1.0"))

@@ -1,0 +1,105 @@
+"""Register-window experiments: Figures 4, 5 and 6 (Section 4.1).
+
+Each figure sweeps physical register file size from 64 (the number of
+architectural registers) to 256 (architectural plus the reorder
+buffer) across four machines: the non-windowed baseline, a
+conventional trap-based register-window machine, an idealised window
+machine, and VCA with windows.  Values are geometric means over the
+Table 2 benchmark suite, normalized per-benchmark to the dual-port
+baseline with 256 physical registers — exactly the paper's
+normalisation.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.analysis.metrics import geomean
+from repro.workloads.profiles import RW_BENCHMARKS
+
+from .runner import RunResult, default_scale, path_ratio, run_point
+
+#: The four machines of Figures 4-6, in the paper's legend order.
+RW_MODELS = ("baseline", "ideal-rw", "conventional-rw", "vca-rw")
+
+#: Register-file sizes swept in Figures 4-6.
+REG_SIZES = (64, 128, 192, 256)
+
+Series = Dict[str, Dict[int, Optional[float]]]
+
+
+def _accesses_per_work(r: RunResult) -> float:
+    """DL1 accesses per flat-ABI-equivalent instruction."""
+    ratio = 1.0
+    if r.model != "baseline":
+        ratio = path_ratio(r.benches[0])
+    work = sum(r.committed) / ratio
+    return r.dl1_accesses / work
+
+
+def rw_sweep(models: Sequence[str] = RW_MODELS,
+             sizes: Sequence[int] = REG_SIZES,
+             benches: Sequence[str] = RW_BENCHMARKS,
+             dl1_ports: int = 2,
+             scale: Optional[float] = None,
+             ) -> Dict[Tuple[str, int], List[RunResult]]:
+    """All (model, size) points of the register-window study."""
+    scale = default_scale() if scale is None else scale
+    out: Dict[Tuple[str, int], List[RunResult]] = {}
+    for model in models:
+        for size in sizes:
+            out[(model, size)] = [
+                run_point(model, (b,), size, dl1_ports=dl1_ports,
+                          scale=scale) for b in benches]
+    return out
+
+
+def _reference(benches: Sequence[str],
+               scale: Optional[float]) -> List[RunResult]:
+    """Per-benchmark baseline at 256 registers, two DL1 ports."""
+    scale = default_scale() if scale is None else scale
+    return [run_point("baseline", (b,), 256, dl1_ports=2, scale=scale)
+            for b in benches]
+
+
+def _normalize(sweep: Dict[Tuple[str, int], List[RunResult]],
+               refs: List[RunResult], value_fn) -> Series:
+    series: Series = {}
+    for (model, size), results in sweep.items():
+        col = series.setdefault(model, {})
+        if any(r.unrunnable for r in results):
+            col[size] = None
+            continue
+        ratios = [value_fn(r) / value_fn(ref)
+                  for r, ref in zip(results, refs)]
+        col[size] = geomean(ratios)
+    return series
+
+
+def fig4_execution_time(benches: Sequence[str] = RW_BENCHMARKS,
+                        sizes: Sequence[int] = REG_SIZES,
+                        scale: Optional[float] = None) -> Series:
+    """Figure 4: normalized execution time vs physical registers."""
+    sweep = rw_sweep(sizes=sizes, benches=benches, scale=scale)
+    refs = _reference(benches, scale)
+    return _normalize(sweep, refs, lambda r: r.cycles)
+
+
+def fig5_cache_accesses(benches: Sequence[str] = RW_BENCHMARKS,
+                        sizes: Sequence[int] = REG_SIZES,
+                        scale: Optional[float] = None) -> Series:
+    """Figure 5: normalized data-cache accesses vs physical registers."""
+    sweep = rw_sweep(sizes=sizes, benches=benches, scale=scale)
+    refs = _reference(benches, scale)
+    return _normalize(sweep, refs, _accesses_per_work)
+
+
+def fig6_single_port(benches: Sequence[str] = RW_BENCHMARKS,
+                     sizes: Sequence[int] = REG_SIZES,
+                     scale: Optional[float] = None) -> Series:
+    """Figure 6: single-DL1-port execution time, normalized to the
+    dual-port baseline at 256 registers."""
+    sweep = rw_sweep(sizes=sizes, benches=benches, dl1_ports=1,
+                     scale=scale)
+    refs = _reference(benches, scale)
+    return _normalize(sweep, refs, lambda r: r.cycles)

@@ -1,0 +1,5 @@
+"""Front-end substrate: branch prediction and the return-address stack."""
+
+from .branch import HybridPredictor, PredictorCheckpoint, ReturnAddressStack
+
+__all__ = ["HybridPredictor", "PredictorCheckpoint", "ReturnAddressStack"]

@@ -1,0 +1,11 @@
+"""Functional (instruction-accurate) simulation."""
+
+from .interp import (
+    MASK64, FunctionalError, FunctionalSim, FunctionalStats, to_signed,
+)
+from .pathlength import PathLengthResult, measure_path_length
+
+__all__ = [
+    "MASK64", "FunctionalError", "FunctionalSim", "FunctionalStats",
+    "to_signed", "PathLengthResult", "measure_path_length",
+]

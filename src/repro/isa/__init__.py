@@ -1,0 +1,24 @@
+"""VRISC: the small Alpha-flavoured ISA used by the reproduction."""
+
+from .instruction import HALT, NOP, Instruction, make_call, make_ret
+from .opcodes import (
+    COND_BRANCH_OPS, CONTROL_OPS, FP_UNIT_OPS, LOAD_OPS, MEM_OPS,
+    STORE_OPS, Op,
+)
+from .registers import (
+    ARG_REGS, FP_ARG_REGS, FP_BASE, GLOBAL_REGS, N_ARCH_REGS, N_FP_REGS,
+    N_INT_REGS, RA_REG, RV_REG, SP_REG, WINDOW_REGS, WINDOWED_FP,
+    WINDOWED_INT, WINDOWED_REGS, ZERO_REG, global_slot, is_fp,
+    is_windowed, parse_reg, reg_name, window_slot,
+)
+
+__all__ = [
+    "Instruction", "Op", "NOP", "HALT", "make_call", "make_ret",
+    "COND_BRANCH_OPS", "CONTROL_OPS", "FP_UNIT_OPS", "LOAD_OPS",
+    "MEM_OPS", "STORE_OPS",
+    "ARG_REGS", "FP_ARG_REGS", "FP_BASE", "GLOBAL_REGS", "N_ARCH_REGS",
+    "N_FP_REGS", "N_INT_REGS", "RA_REG", "RV_REG", "SP_REG",
+    "WINDOW_REGS", "WINDOWED_FP", "WINDOWED_INT", "WINDOWED_REGS",
+    "ZERO_REG", "global_slot", "is_fp", "is_windowed", "parse_reg",
+    "reg_name", "window_slot",
+]

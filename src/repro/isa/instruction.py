@@ -1,0 +1,147 @@
+"""Static instruction representation for VRISC.
+
+An :class:`Instruction` is immutable once assembled.  The dynamic,
+per-execution state (renamed operands, issue/commit timestamps, etc.)
+lives in :class:`repro.pipeline.dyninst.DynInst`.
+
+Program counters are instruction indices: one instruction per slot,
+``pc + 1`` is the fall-through successor.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+from .opcodes import (
+    COND_BRANCH_OPS, CONTROL_OPS, FP_ARITH_OPS, FP_UNIT_OPS, INT_RI_OPS,
+    INT_RR_OPS, LOAD_OPS, LONG_INT_OPS, MEM_OPS, STORE_OPS, Op,
+)
+from .registers import RA_REG, ZERO_REG, reg_name
+
+
+class Instruction:
+    """One static VRISC instruction.
+
+    Attributes:
+        op: the opcode.
+        rd: destination architectural register id, or ``None``.
+        rs1: first source register id, or ``None``.
+        rs2: second source register id, or ``None``.
+        imm: immediate operand (also the displacement of loads/stores).
+        target: branch/call target as an absolute instruction index;
+            ``None`` until the assembler resolves labels.
+    """
+
+    __slots__ = ("op", "rd", "rs1", "rs2", "imm", "target",
+                 "is_load", "is_store", "is_mem", "is_branch",
+                 "is_cond_branch", "is_call", "is_ret", "is_fp_unit",
+                 "latency_class")
+
+    def __init__(self, op: Op, rd: Optional[int] = None,
+                 rs1: Optional[int] = None, rs2: Optional[int] = None,
+                 imm: int = 0, target: Optional[int] = None) -> None:
+        self.op = op
+        self.rd = rd
+        self.rs1 = rs1
+        self.rs2 = rs2
+        self.imm = imm
+        self.target = target
+        # Pre-computed classification flags, consulted on every cycle of
+        # the timing model; computing them once keeps the hot loop lean.
+        self.is_load = op in LOAD_OPS
+        self.is_store = op in STORE_OPS
+        self.is_mem = op in MEM_OPS
+        self.is_branch = op in CONTROL_OPS
+        self.is_cond_branch = op in COND_BRANCH_OPS
+        self.is_call = op is Op.CALL
+        self.is_ret = op is Op.RET
+        self.is_fp_unit = op in FP_UNIT_OPS
+        if op in LONG_INT_OPS:
+            self.latency_class = "imul"
+        elif op is Op.FDIV:
+            self.latency_class = "fdiv"
+        elif op in FP_UNIT_OPS:
+            self.latency_class = "fp"
+        else:
+            self.latency_class = "int"
+        self._validate()
+
+    # ------------------------------------------------------------------
+    def _validate(self) -> None:
+        op = self.op
+        if op in INT_RR_OPS or op in FP_ARITH_OPS and op is not Op.FMOV:
+            if self.rd is None or self.rs1 is None or self.rs2 is None:
+                raise ValueError(f"{op.name} needs rd, rs1, rs2")
+        elif op in INT_RI_OPS:
+            if self.rd is None or self.rs1 is None:
+                raise ValueError(f"{op.name} needs rd, rs1")
+        elif op in MEM_OPS:
+            if self.rs1 is None:
+                raise ValueError(f"{op.name} needs a base register")
+            if op in STORE_OPS and self.rs2 is None:
+                raise ValueError(f"{op.name} needs a data register")
+            if op in LOAD_OPS and self.rd is None:
+                raise ValueError(f"{op.name} needs a destination")
+
+    # -- operand views used by rename ----------------------------------
+    def sources(self) -> Tuple[int, ...]:
+        """Architectural source registers, zero-register reads excluded."""
+        srcs = []
+        for r in (self.rs1, self.rs2):
+            if r is not None and r != ZERO_REG:
+                srcs.append(r)
+        return tuple(srcs)
+
+    def dest(self) -> Optional[int]:
+        """Architectural destination register, or ``None``.
+
+        Writes to the hard-wired zero register are discarded and
+        therefore report no destination.
+        """
+        if self.rd == ZERO_REG:
+            return None
+        return self.rd
+
+    # ------------------------------------------------------------------
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<Instruction {self.disassemble()}>"
+
+    def disassemble(self) -> str:
+        """Render the instruction in assembly-ish syntax."""
+        op = self.op
+        parts = [op.name.lower()]
+        ops = []
+        if self.rd is not None:
+            ops.append(reg_name(self.rd))
+        if op in MEM_OPS:
+            if op in STORE_OPS:
+                ops.append(reg_name(self.rs2))
+            ops.append(f"{self.imm}({reg_name(self.rs1)})")
+        else:
+            if self.rs1 is not None:
+                ops.append(reg_name(self.rs1))
+            if self.rs2 is not None:
+                ops.append(reg_name(self.rs2))
+            if op in INT_RI_OPS or op is Op.LDI:
+                ops.append(str(self.imm))
+        if self.target is not None:
+            ops.append(f"@{self.target}")
+        if ops:
+            parts.append(" " + ", ".join(ops))
+        return "".join(parts)
+
+
+# Convenience constructors -------------------------------------------------
+
+def make_call(target: Optional[int] = None) -> Instruction:
+    """A call writing the return address to the RA register."""
+    return Instruction(Op.CALL, rd=RA_REG, target=target)
+
+
+def make_ret() -> Instruction:
+    """A return jumping through the RA register."""
+    return Instruction(Op.RET, rs1=RA_REG)
+
+
+NOP = Instruction(Op.NOP)
+HALT = Instruction(Op.HALT)

@@ -1,0 +1,102 @@
+"""VRISC opcode definitions.
+
+VRISC is a small Alpha-flavoured load/store ISA: three-operand register
+arithmetic, register+immediate addressing, single-register conditional
+branches, and explicit call/return opcodes.  Under the windowed ABI the
+``CALL``/``RET`` opcodes are overloaded to allocate and deallocate a
+register window (Section 3.1 of the paper); the encodings themselves do
+not change, which is what makes the windowed variant "backward
+compatible ... with only minimal ISA changes".
+"""
+
+from __future__ import annotations
+
+import enum
+
+
+class Op(enum.Enum):
+    # integer register-register
+    ADD = enum.auto()
+    SUB = enum.auto()
+    MUL = enum.auto()
+    AND = enum.auto()
+    OR = enum.auto()
+    XOR = enum.auto()
+    SLL = enum.auto()
+    SRL = enum.auto()
+    CMPEQ = enum.auto()
+    CMPLT = enum.auto()
+    CMPLE = enum.auto()
+    # integer register-immediate
+    ADDI = enum.auto()
+    SUBI = enum.auto()
+    MULI = enum.auto()
+    ANDI = enum.auto()
+    ORI = enum.auto()
+    XORI = enum.auto()
+    SLLI = enum.auto()
+    SRLI = enum.auto()
+    CMPEQI = enum.auto()
+    CMPLTI = enum.auto()
+    LDI = enum.auto()          # rd <- imm (64-bit literal)
+    # memory
+    LD = enum.auto()           # rd <- mem[rs1 + imm]
+    ST = enum.auto()           # mem[rs1 + imm] <- rs2
+    FLD = enum.auto()          # fd <- mem[rs1 + imm]
+    FST = enum.auto()          # mem[rs1 + imm] <- fs2
+    # control
+    BEQ = enum.auto()          # if rs1 == 0 goto target
+    BNE = enum.auto()          # if rs1 != 0 goto target
+    BLT = enum.auto()          # if signed(rs1) < 0 goto target
+    BGE = enum.auto()          # if signed(rs1) >= 0 goto target
+    BR = enum.auto()           # goto target
+    CALL = enum.auto()         # ra <- pc + 1; goto target (window push)
+    RET = enum.auto()          # goto ra (window pop)
+    JMP = enum.auto()          # goto rs1 (indirect, no window effect)
+    # floating point
+    FADD = enum.auto()
+    FSUB = enum.auto()
+    FMUL = enum.auto()
+    FDIV = enum.auto()
+    FCMPLT = enum.auto()       # fd <- 1.0 if fs1 < fs2 else 0.0
+    FCMPEQ = enum.auto()
+    FBEQ = enum.auto()         # if fs1 == 0.0 goto target
+    FBNE = enum.auto()         # if fs1 != 0.0 goto target
+    ITOF = enum.auto()         # fd <- float(rs1)
+    FTOI = enum.auto()         # rd <- int(fs1)
+    FMOV = enum.auto()
+    # misc
+    NOP = enum.auto()
+    HALT = enum.auto()
+
+
+#: Integer ALU ops writing an integer destination from rs1, rs2.
+INT_RR_OPS = frozenset({
+    Op.ADD, Op.SUB, Op.MUL, Op.AND, Op.OR, Op.XOR, Op.SLL, Op.SRL,
+    Op.CMPEQ, Op.CMPLT, Op.CMPLE,
+})
+
+#: Integer ALU ops writing an integer destination from rs1, imm.
+INT_RI_OPS = frozenset({
+    Op.ADDI, Op.SUBI, Op.MULI, Op.ANDI, Op.ORI, Op.XORI, Op.SLLI,
+    Op.SRLI, Op.CMPEQI, Op.CMPLTI,
+})
+
+LOAD_OPS = frozenset({Op.LD, Op.FLD})
+STORE_OPS = frozenset({Op.ST, Op.FST})
+MEM_OPS = LOAD_OPS | STORE_OPS
+
+COND_BRANCH_OPS = frozenset({
+    Op.BEQ, Op.BNE, Op.BLT, Op.BGE, Op.FBEQ, Op.FBNE,
+})
+#: Every op that can redirect the PC.
+CONTROL_OPS = COND_BRANCH_OPS | {Op.BR, Op.CALL, Op.RET, Op.JMP}
+
+FP_ARITH_OPS = frozenset({
+    Op.FADD, Op.FSUB, Op.FMUL, Op.FDIV, Op.FCMPLT, Op.FCMPEQ, Op.FMOV,
+})
+
+#: Ops dispatched to the floating-point units.
+FP_UNIT_OPS = FP_ARITH_OPS | {Op.ITOF, Op.FTOI}
+
+LONG_INT_OPS = frozenset({Op.MUL, Op.MULI})

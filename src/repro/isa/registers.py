@@ -1,0 +1,95 @@
+"""Architectural register file layout for the VRISC ISA.
+
+VRISC mirrors the paper's modified Alpha: 32 integer and 32
+floating-point registers, partitioned into *global* (non-windowed) and
+*windowed* subsets.  Following Section 3.1 of the paper, any register
+used to communicate values across a function call is global; all other
+registers are windowed and change on every call/return under the
+windowed ABI.
+
+Architectural register ids are small integers in ``[0, 64)``: integer
+registers occupy ``0..31`` and floating-point registers ``32..63``.
+"""
+
+from __future__ import annotations
+
+N_INT_REGS = 32
+N_FP_REGS = 32
+N_ARCH_REGS = N_INT_REGS + N_FP_REGS
+
+# --- integer register conventions -------------------------------------
+#: Argument / return-value registers (global: they cross call sites).
+ARG_REGS = tuple(range(0, 8))
+#: Return-value register.
+RV_REG = 0
+#: Stack pointer (global).
+SP_REG = 30
+#: Hard-wired zero register.
+ZERO_REG = 31
+#: Return-address register.  It is *windowed*: like SPARC's %o7, the
+#: window shift preserves it across nested calls for free, while the
+#: flat ABI must save/restore it in non-leaf functions.
+RA_REG = 25
+
+#: Windowed integer registers (callee-saved locals under the flat ABI).
+WINDOWED_INT = tuple(range(8, 30))
+#: Global integer registers.
+GLOBAL_INT = tuple(r for r in range(N_INT_REGS) if r not in WINDOWED_INT)
+
+# --- floating-point register conventions ------------------------------
+FP_BASE = 32
+#: FP argument / scratch registers (global).
+FP_ARG_REGS = tuple(range(FP_BASE + 0, FP_BASE + 8))
+#: Windowed FP registers.
+WINDOWED_FP = tuple(range(FP_BASE + 8, FP_BASE + 32))
+GLOBAL_FP = tuple(r for r in range(FP_BASE, FP_BASE + N_FP_REGS)
+                  if r not in WINDOWED_FP)
+
+WINDOWED_REGS = WINDOWED_INT + WINDOWED_FP
+GLOBAL_REGS = tuple(sorted(GLOBAL_INT + GLOBAL_FP))
+
+#: Registers per window frame (22 int + 24 fp).
+WINDOW_REGS = len(WINDOWED_REGS)
+
+# Dense slot numbering used to lay register frames out in memory.
+_WINDOW_SLOT = {r: i for i, r in enumerate(WINDOWED_REGS)}
+_GLOBAL_SLOT = {r: i for i, r in enumerate(GLOBAL_REGS)}
+
+
+def is_fp(reg: int) -> bool:
+    """True if ``reg`` names a floating-point register."""
+    return reg >= FP_BASE
+
+
+def is_windowed(reg: int) -> bool:
+    """True if ``reg`` changes across calls under the windowed ABI."""
+    return reg in _WINDOW_SLOT
+
+
+def window_slot(reg: int) -> int:
+    """Dense index of a windowed register within its frame."""
+    return _WINDOW_SLOT[reg]
+
+
+def global_slot(reg: int) -> int:
+    """Dense index of a global register within the global frame."""
+    return _GLOBAL_SLOT[reg]
+
+
+def reg_name(reg: int) -> str:
+    """Human-readable name (``r5``, ``f12``) for disassembly."""
+    if reg < 0 or reg >= N_ARCH_REGS:
+        raise ValueError(f"bad register id {reg}")
+    if is_fp(reg):
+        return f"f{reg - FP_BASE}"
+    return f"r{reg}"
+
+
+def parse_reg(name: str) -> int:
+    """Inverse of :func:`reg_name`."""
+    if len(name) < 2 or name[0] not in "rf":
+        raise ValueError(f"bad register name {name!r}")
+    idx = int(name[1:])
+    if not 0 <= idx < 32:
+        raise ValueError(f"bad register name {name!r}")
+    return idx + (FP_BASE if name[0] == "f" else 0)

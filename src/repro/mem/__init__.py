@@ -1,0 +1,9 @@
+"""Memory substrate: main memory, caches, hierarchy, port arbitration."""
+
+from .cache import Cache, CacheStats
+from .hierarchy import MemoryHierarchy
+from .memory import MainMemory
+from .ports import PortArbiter
+
+__all__ = ["Cache", "CacheStats", "MemoryHierarchy", "MainMemory",
+           "PortArbiter"]

@@ -1,0 +1,62 @@
+"""The IL1/DL1/L2/DRAM hierarchy of Table 1, plus the DL1 port arbiter."""
+
+from __future__ import annotations
+
+from repro.config import MachineConfig
+
+from .cache import Cache
+from .memory import MainMemory
+from .ports import PortArbiter
+
+
+class MemoryHierarchy:
+    """Owns the caches, the flat backing memory and the DL1 ports.
+
+    Timing and data are deliberately separate: ``dl1_access`` returns
+    the latency a load/store/spill/fill observes, while reads and
+    writes of actual values go straight to :attr:`memory`.
+    """
+
+    def __init__(self, cfg: MachineConfig) -> None:
+        self.cfg = cfg
+        self.memory = MainMemory()
+        self.l2 = Cache("l2", cfg.l2, next_level=None,
+                        mem_latency=cfg.mem_latency)
+        self.dl1 = Cache("dl1", cfg.dl1, next_level=self.l2)
+        self.il1 = Cache("il1", cfg.il1, next_level=self.l2)
+        self.dl1_ports = PortArbiter(cfg.dl1_ports)
+
+    def begin_cycle(self) -> None:
+        self.dl1_ports.begin_cycle()
+
+    def warm(self, lo: int, hi: int) -> None:
+        """Pre-install ``[lo, hi)`` into L2 and DL1 (warm start; see
+        :meth:`repro.mem.cache.Cache.install`)."""
+        block = self.dl1.cfg.block_bytes
+        for addr in range(lo & ~(block - 1), hi, block):
+            self.l2.install(addr)
+            self.dl1.install(addr)
+
+    # -- timing -----------------------------------------------------------
+    def dl1_access(self, addr: int, write: bool, kind: str) -> int:
+        """Access the data cache; returns observed latency in cycles.
+
+        The caller must already hold a DL1 port for this cycle.
+        """
+        return self.dl1.access(addr, write=write, kind=kind)
+
+    # -- data ---------------------------------------------------------------
+    def read_word(self, addr: int) -> float:
+        return self.memory.read(addr & ~7)
+
+    def write_word(self, addr: int, value: float) -> None:
+        self.memory.write(addr & ~7, value)
+
+    # -- metrics ------------------------------------------------------------
+    @property
+    def data_cache_accesses(self) -> int:
+        """Total DL1 accesses: the metric of Figure 5 / Section 4.3."""
+        return self.dl1.stats.accesses
+
+    def access_breakdown(self) -> dict:
+        return dict(self.dl1.stats.by_kind)

@@ -1,0 +1,45 @@
+"""Flat main-memory model.
+
+Memory is word-addressed at 8-byte granularity and sparse: unwritten
+locations read as zero.  Values are Python numbers (integers for the
+integer pipeline, floats for the FP pipeline); the cache hierarchy in
+:mod:`repro.mem.cache` models only tags and timing, so data always
+lives here.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Tuple
+
+
+class MainMemory:
+    """Backing store shared by all threads and by the VCA register space."""
+
+    def __init__(self, initial: Dict[int, float] | None = None) -> None:
+        self._words: Dict[int, float] = dict(initial or {})
+        self.reads = 0
+        self.writes = 0
+
+    def read(self, addr: int) -> float:
+        """Read the 8-byte word at ``addr`` (must be aligned)."""
+        if addr % 8:
+            raise ValueError(f"unaligned read at {addr:#x}")
+        self.reads += 1
+        return self._words.get(addr, 0)
+
+    def write(self, addr: int, value: float) -> None:
+        """Write the 8-byte word at ``addr`` (must be aligned)."""
+        if addr % 8:
+            raise ValueError(f"unaligned write at {addr:#x}")
+        self.writes += 1
+        self._words[addr] = value
+
+    def load_image(self, data: Dict[int, float]) -> None:
+        """Bulk-populate memory (program loading; no stats counted)."""
+        self._words.update(data)
+
+    def items(self) -> Iterable[Tuple[int, float]]:
+        return self._words.items()
+
+    def __contains__(self, addr: int) -> bool:
+        return addr in self._words

@@ -1,0 +1,40 @@
+"""Per-cycle data-cache port arbitration.
+
+Table 1 gives the baseline two shared read/write DL1 ports; Figure 6
+re-runs the register-window study with a single port.  Every data-side
+consumer — program loads at issue, program stores at commit, VCA spill
+and fill operations from the ASTQ, and the conventional window
+machine's trap-injected transfers — must acquire a port for the cycle
+in which it accesses the cache.
+"""
+
+from __future__ import annotations
+
+
+class PortArbiter:
+    """Counts grants within one cycle; reset by the pipeline each cycle."""
+
+    def __init__(self, n_ports: int) -> None:
+        if n_ports < 1:
+            raise ValueError("need at least one port")
+        self.n_ports = n_ports
+        self._used = 0
+        self.grants = 0
+        self.rejections = 0
+
+    def begin_cycle(self) -> None:
+        self._used = 0
+
+    @property
+    def free(self) -> int:
+        """Ports still available this cycle."""
+        return self.n_ports - self._used
+
+    def try_acquire(self) -> bool:
+        """Grant a port for this cycle if one is free."""
+        if self._used < self.n_ports:
+            self._used += 1
+            self.grants += 1
+            return True
+        self.rejections += 1
+        return False

@@ -1,0 +1,5 @@
+"""The paper's machine models, assembled from the substrates."""
+
+from .factory import MODELS, build_engine, build_machine, model_abi
+
+__all__ = ["MODELS", "build_engine", "build_machine", "model_abi"]

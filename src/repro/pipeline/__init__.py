@@ -1,0 +1,12 @@
+"""The cycle-level out-of-order core."""
+
+from .alu import ExecResult, execute
+from .core import DeadlockError, Pipeline, SimulationError, ThreadState
+from .dyninst import DynInst
+from .stats import SimStats, ThreadStats
+
+__all__ = [
+    "ExecResult", "execute", "DeadlockError", "Pipeline",
+    "SimulationError", "ThreadState", "DynInst", "SimStats",
+    "ThreadStats",
+]

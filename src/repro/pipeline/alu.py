@@ -1,0 +1,124 @@
+"""Pure execution semantics used by the timing model.
+
+Deliberately independent of :mod:`repro.functional.interp` — the two
+implementations cross-validate each other in the integration tests.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+from repro.functional.interp import MASK64, to_signed
+from repro.isa.instruction import Instruction
+from repro.isa.opcodes import Op
+
+
+class ExecResult:
+    """Outcome of executing one instruction's compute step."""
+
+    __slots__ = ("result", "taken", "target", "mem_addr", "store_val")
+
+    def __init__(self, result: float = 0, taken: bool = False,
+                 target: Optional[int] = None,
+                 mem_addr: Optional[int] = None,
+                 store_val: float = 0) -> None:
+        self.result = result
+        self.taken = taken
+        self.target = target
+        self.mem_addr = mem_addr
+        self.store_val = store_val
+
+
+_INT_RR = {
+    Op.ADD: lambda a, b: (int(a) + int(b)) & MASK64,
+    Op.SUB: lambda a, b: (int(a) - int(b)) & MASK64,
+    Op.MUL: lambda a, b: (int(a) * int(b)) & MASK64,
+    Op.AND: lambda a, b: int(a) & int(b),
+    Op.OR: lambda a, b: int(a) | int(b),
+    Op.XOR: lambda a, b: int(a) ^ int(b),
+    Op.SLL: lambda a, b: (int(a) << (int(b) & 63)) & MASK64,
+    Op.SRL: lambda a, b: int(a) >> (int(b) & 63),
+    Op.CMPEQ: lambda a, b: int(a == b),
+    Op.CMPLT: lambda a, b: int(to_signed(int(a)) < to_signed(int(b))),
+    Op.CMPLE: lambda a, b: int(to_signed(int(a)) <= to_signed(int(b))),
+}
+
+_INT_RI = {
+    Op.ADDI: lambda a, i: (int(a) + i) & MASK64,
+    Op.SUBI: lambda a, i: (int(a) - i) & MASK64,
+    Op.MULI: lambda a, i: (int(a) * i) & MASK64,
+    Op.ANDI: lambda a, i: int(a) & i,
+    Op.ORI: lambda a, i: int(a) | i,
+    Op.XORI: lambda a, i: int(a) ^ i,
+    Op.SLLI: lambda a, i: (int(a) << (i & 63)) & MASK64,
+    Op.SRLI: lambda a, i: int(a) >> (i & 63),
+    Op.CMPEQI: lambda a, i: int(int(a) == i),
+    Op.CMPLTI: lambda a, i: int(to_signed(int(a)) < i),
+}
+
+_FP_RR = {
+    Op.FADD: lambda a, b: a + b,
+    Op.FSUB: lambda a, b: a - b,
+    Op.FMUL: lambda a, b: a * b,
+    Op.FDIV: lambda a, b: (a / b) if b else 0.0,
+    Op.FCMPLT: lambda a, b: 1.0 if a < b else 0.0,
+    Op.FCMPEQ: lambda a, b: 1.0 if a == b else 0.0,
+}
+
+_BRANCH_COND = {
+    Op.BEQ: lambda v: int(v) == 0,
+    Op.BNE: lambda v: int(v) != 0,
+    Op.BLT: lambda v: to_signed(int(v)) < 0,
+    Op.BGE: lambda v: to_signed(int(v)) >= 0,
+    Op.FBEQ: lambda v: v == 0.0,
+    Op.FBNE: lambda v: v != 0.0,
+}
+
+
+def execute(ins: Instruction, v1: float, v2: float, pc: int) -> ExecResult:
+    """Execute ``ins`` with source values ``v1``/``v2`` at ``pc``.
+
+    Loads return their effective address; the pipeline supplies the
+    data from the LSQ or the cache.  Memory addresses are clamped to
+    aligned 64-bit values so wrong-path execution can never fault.
+    """
+    op = ins.op
+    fn = _INT_RR.get(op)
+    if fn is not None:
+        return ExecResult(result=fn(v1, v2))
+    fn = _INT_RI.get(op)
+    if fn is not None:
+        return ExecResult(result=fn(v1, ins.imm))
+    fn = _FP_RR.get(op)
+    if fn is not None:
+        return ExecResult(result=fn(v1, v2))
+    cond = _BRANCH_COND.get(op)
+    if cond is not None:
+        taken = cond(v1)
+        return ExecResult(taken=taken,
+                          target=ins.target if taken else pc + 1)
+    if op is Op.LDI:
+        return ExecResult(result=ins.imm & MASK64)
+    if ins.is_load:
+        return ExecResult(mem_addr=(int(v1) + ins.imm) & MASK64 & ~7)
+    if ins.is_store:
+        return ExecResult(mem_addr=(int(v1) + ins.imm) & MASK64 & ~7,
+                          store_val=v2)
+    if op is Op.BR:
+        return ExecResult(taken=True, target=ins.target)
+    if op is Op.CALL:
+        return ExecResult(result=pc + 1, taken=True, target=ins.target)
+    if op is Op.RET or op is Op.JMP:
+        return ExecResult(taken=True, target=int(v1) & MASK64)
+    if op is Op.FMOV:
+        return ExecResult(result=v1)
+    if op is Op.ITOF:
+        return ExecResult(result=float(to_signed(int(v1))))
+    if op is Op.FTOI:
+        try:
+            return ExecResult(result=int(v1) & MASK64)
+        except (OverflowError, ValueError):  # inf/nan convert to zero
+            return ExecResult(result=0)
+    if op is Op.NOP or op is Op.HALT:
+        return ExecResult()
+    raise NotImplementedError(f"opcode {op}")  # pragma: no cover

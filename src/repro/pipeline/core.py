@@ -1,0 +1,651 @@
+"""The cycle-level out-of-order superscalar core.
+
+One :class:`Pipeline` models the Table 1 machine: a four-wide fetch /
+rename / issue / commit pipeline with a 128-entry instruction queue, a
+192-entry reorder buffer, a hybrid branch predictor, a load/store
+queue with store-to-load forwarding, and the three-level cache
+hierarchy with DL1 port arbitration.  The register-rename engine is
+pluggable (conventional, conventional windows, ideal windows, VCA) —
+per the paper, VCA's changes are confined to the rename stage.
+
+Stage ordering within a cycle: writeback completions (including ASTQ
+spill/fill completions), commit, the window-trap sequencer, rename +
+dispatch, issue (program loads/stores first, then ASTQ operations on
+leftover DL1 ports per Section 2.2.2), and finally fetch.
+
+Speculation is modelled faithfully: wrong-path instructions rename,
+execute and access the data cache (the misspeculation traffic visible
+in Figure 5) until the mispredicted branch resolves, at which point
+younger instructions are squashed youngest-first and the rename engine
+restores its committed mappings — equivalent to the Pentium-4-style
+retirement-map recovery of Section 2.1.3.
+"""
+
+from __future__ import annotations
+
+import heapq
+from collections import deque
+from typing import Dict, List, Optional
+
+from repro.asm.program import Program
+from repro.config import MachineConfig
+from repro.frontend.branch import HybridPredictor
+from repro.isa.opcodes import Op
+from repro.mem.hierarchy import MemoryHierarchy
+from repro.rename.base import RenameEngine
+
+from .alu import execute
+from .dyninst import DynInst
+from .stats import SimStats, ThreadStats
+
+
+class SimulationError(RuntimeError):
+    """The timing model reached an architecturally impossible state."""
+
+
+class DeadlockError(SimulationError):
+    """No instruction committed for an implausibly long time."""
+
+
+#: Pseudo address base for instruction-cache accesses.
+_ICACHE_BASE = 0x2000_0000
+
+#: Cycles without a commit before the deadlock detector fires.
+_DEADLOCK_WINDOW = 200_000
+
+#: ASTQ head age (cycles) after which it outranks program loads.
+_ASTQ_AGE_PRIORITY = 8
+
+#: Fetch-buffer capacity in instructions (fetch stalls beyond this).
+_FETCH_BUFFER = 16
+
+
+class ThreadState:
+    """Fetch-side state of one hardware thread."""
+
+    __slots__ = ("tid", "program", "next_pc", "fetch_halted", "halted",
+                 "inflight")
+
+    def __init__(self, tid: int, program: Program) -> None:
+        self.tid = tid
+        self.program = program
+        self.next_pc = program.entry
+        self.fetch_halted = False
+        self.halted = False
+        self.inflight = 0
+
+
+class Pipeline:
+    """Out-of-order timing model around a pluggable rename engine."""
+
+    def __init__(self, cfg: MachineConfig, programs: List[Program],
+                 engine: RenameEngine,
+                 hierarchy: MemoryHierarchy) -> None:
+        if len(programs) != cfg.n_threads:
+            raise ValueError("one program per hardware thread required")
+        self.cfg = cfg
+        self.engine = engine
+        self.hierarchy = hierarchy
+        self.predictor = HybridPredictor()
+        self.threads = [ThreadState(i, p) for i, p in enumerate(programs)]
+        for t in self.threads:
+            hierarchy.memory.load_image(t.program.data)
+            hierarchy.warm(t.program.data_base, t.program.data_end)
+            engine.init_thread(t.tid, t.program)
+
+        self.cycle = 0
+        self._seq = 0
+        self._last_commit = 0
+        self.stats = SimStats(threads=[ThreadStats() for _ in programs])
+
+        # Per-thread front-end queues: (ready_cycle, DynInst) in fetch
+        # order.  Keeping them separate prevents one register- or
+        # ROB-starved thread from head-of-line-blocking its siblings
+        # at rename, as per-thread decode queues do in real SMT cores.
+        self.front: List[deque] = [deque() for _ in programs]
+        # Per-thread reorder buffers (statically partitioned shares);
+        # commit is in-order within a thread and independent across
+        # threads, like separate per-thread commit pointers.
+        self.rob: List[deque] = [deque() for _ in programs]
+        self._rename_rr = 0
+        self._commit_rr = 0
+        self.iq_count = 0
+        self.lsq_count = 0
+        self._ready: List = []          # heap of (seq, DynInst)
+        self._waiters: Dict[int, List[DynInst]] = {}
+        # Per-thread in-flight stores, program order (LSQ store half).
+        self._stores: List[List[DynInst]] = [[] for _ in programs]
+        # Loads with a computed address awaiting LSQ clearance or a port.
+        self._pending_loads: List[DynInst] = []
+        self._wheel: Dict[int, List] = {}
+
+        self._latency = {
+            "int": 1,
+            "imul": cfg.int_mult_latency,
+            "fp": cfg.fp_add_latency,
+            "fdiv": cfg.fp_div_latency,
+        }
+        # Fetch-to-rename distance; VCA pays one extra rename stage
+        # (Figure 1, stage R2), the ideal machine does not.
+        self._front_latency = (cfg.pipeline_depth - 3
+                               + (1 if engine.extra_rename_stage else 0))
+        # SMT shares the ROB in static per-thread partitions (Raasch &
+        # Reinhardt, the paper's own workload-methodology citation,
+        # found partitioning best): one stalled thread cannot balloon
+        # into the whole window and starve its siblings' rename.
+        self._rob_share = cfg.rob_size // cfg.n_threads
+        self._rob_per_thread = [0] * cfg.n_threads
+        # Window-trap sequencer state.
+        self._trap_phase: Optional[str] = None
+        self._trap_until = 0
+        self._trap_transfers: List = []
+        self._trap_outstanding = 0
+
+    # ==================================================================
+    # driving
+    # ==================================================================
+    def run(self, stop_at_first_halt: bool = False) -> SimStats:
+        """Simulate until completion; returns the statistics."""
+        while True:
+            if stop_at_first_halt and any(t.halted for t in self.threads):
+                break
+            if all(t.halted for t in self.threads):
+                break
+            self.step()
+            if self.cycle > self.cfg.max_cycles:
+                raise DeadlockError(
+                    f"exceeded max_cycles={self.cfg.max_cycles}")
+            if self.cycle - self._last_commit > _DEADLOCK_WINDOW:
+                raise DeadlockError(
+                    f"no commit since cycle {self._last_commit} "
+                    f"(now {self.cycle}); rename stalls: "
+                    f"{dict(self.engine.stalls)}")
+        return self.finalize()
+
+    def finalize(self) -> SimStats:
+        """Collect end-of-run statistics."""
+        s = self.stats
+        s.cycles = self.cycle
+        s.rename_stalls = self.engine.stalls
+        dl1 = self.hierarchy.dl1.stats
+        s.dl1_accesses = dl1.accesses
+        s.dl1_breakdown = dict(dl1.by_kind)
+        s.dl1_miss_rate = dl1.miss_rate
+        s.l2_miss_rate = self.hierarchy.l2.stats.miss_rate
+        s.max_regs_in_use = self.engine.regfile.max_in_use
+        astq = self.engine.astq
+        if astq is not None:
+            s.spills = astq.spills
+            s.fills = astq.fills
+        else:
+            s.spills = getattr(self.engine, "spills_generated", 0)
+            s.fills = getattr(self.engine, "fills_generated", 0)
+        s.window_overflows = getattr(self.engine, "overflows", 0)
+        s.window_underflows = getattr(self.engine, "underflows", 0)
+        rsid = getattr(self.engine, "rsid", None)
+        if rsid is not None:
+            s.rsid_flushes = rsid.flushes
+        return s
+
+    # ==================================================================
+    # one cycle
+    # ==================================================================
+    def step(self) -> None:
+        now = self.cycle
+        self.hierarchy.begin_cycle()
+        self.engine.begin_cycle()
+
+        for event in self._wheel.pop(now, ()):  # writeback / completions
+            kind = event[0]
+            if kind == "exec":
+                self._complete_exec(event[1])
+            elif kind == "loaddata":
+                self._complete_load(event[1], from_forward=False)
+            elif kind == "fwd":
+                self._complete_load(event[1], from_forward=True)
+            elif kind == "trapload":
+                _, lidx, addr = event
+                self._trap_outstanding -= 1
+                self.engine.apply_trap_load(
+                    lidx, self.hierarchy.read_word(addr))
+            elif kind == "trapstore":
+                self._trap_outstanding -= 1
+
+        astq = self.engine.astq
+        if astq is not None:
+            astq.tick(now, self._wakeup)
+
+        self._commit(now)
+        self._trap_sequencer(now)
+        self._rename_dispatch(now)
+        # An ASTQ head that has starved behind program memory traffic
+        # is promoted ahead of this cycle's loads (see ASTQ.head_age).
+        if astq is not None and astq.head_age() > _ASTQ_AGE_PRIORITY:
+            if self.hierarchy.dl1_ports.try_acquire():
+                astq.issue_head(now)
+        self._issue(now)
+        if astq is not None:
+            while self.hierarchy.dl1_ports.free and astq.queue:
+                self.hierarchy.dl1_ports.try_acquire()
+                astq.issue_head(now)
+        self._fetch(now)
+        self.cycle = now + 1
+
+    # ==================================================================
+    # fetch
+    # ==================================================================
+    def _fetch(self, now: int) -> None:
+        # The front queue holds both in-transit front-end stage latches
+        # (width x front-latency instructions) and the fetch buffer
+        # proper; only the latter is bounded, so the ceiling must not
+        # penalise deeper front ends.
+        cap = _FETCH_BUFFER + self.cfg.width * self._front_latency
+        eligible = [t for t in self.threads
+                    if not t.fetch_halted and not t.halted
+                    and len(self.front[t.tid]) < cap]
+        if not eligible:
+            return
+        # ICOUNT: fetch for the thread with the fewest in-flight
+        # instructions.
+        t = min(eligible, key=lambda th: (th.inflight, th.tid))
+        code = t.program.code
+        self.hierarchy.il1.access(_ICACHE_BASE + t.next_pc * 8,
+                                  write=False, kind="ifetch")
+        predictor = self.predictor
+        ready_at = now + self._front_latency
+        for _ in range(self.cfg.width):
+            pc = t.next_pc
+            if not 0 <= pc < len(code):
+                # Wrong-path fetch ran off the program; wait for the
+                # redirect from the mispredicted branch.
+                t.fetch_halted = True
+                break
+            ins = code[pc]
+            d = DynInst(self._seq, t.tid, pc, ins)
+            self._seq += 1
+            next_pc = pc + 1
+            if ins.is_cond_branch:
+                taken, cp = predictor.predict(pc)
+                d.pred_cp = cp
+                d.pred_taken = taken
+                if taken:
+                    next_pc = ins.target
+            elif ins.op is Op.BR:
+                d.pred_cp = predictor.checkpoint(pc)
+                next_pc = ins.target
+            elif ins.is_call:
+                d.pred_cp = predictor.checkpoint(pc)
+                predictor.ras.push(pc + 1)
+                next_pc = ins.target
+            elif ins.is_ret or ins.op is Op.JMP:
+                d.pred_cp = predictor.checkpoint(pc)
+                if ins.is_ret:
+                    next_pc = predictor.ras.pop()
+                # JMP falls through to pc+1 (always mispredicts).
+            d.pred_next_pc = next_pc
+            t.next_pc = next_pc
+            t.inflight += 1
+            self.stats.threads[t.tid].fetched += 1
+            self.front[t.tid].append((ready_at, d))
+            if ins.op is Op.HALT:
+                t.fetch_halted = True
+                break
+            if next_pc != pc + 1:
+                break  # taken-predicted control: redirect next cycle
+
+    # ==================================================================
+    # rename + dispatch
+    # ==================================================================
+    def _rename_dispatch(self, now: int) -> None:
+        if self._trap_phase is not None or self.engine.trap_request is not None:
+            # A window trap is pending or in progress: rename stalls
+            # (for an underflow, behind the already-renamed return).
+            return
+        budget = self.cfg.width
+        n = len(self.threads)
+        order = [(self._rename_rr + i) % n for i in range(n)]
+        self._rename_rr = (self._rename_rr + 1) % n
+        for tid in order:
+            queue = self.front[tid]
+            while budget and queue:
+                ready_at, d = queue[0]
+                if ready_at > now:
+                    break
+                if d.squashed:
+                    queue.popleft()
+                    continue
+                ins = d.instr
+                if self._rob_per_thread[tid] >= self._rob_share:
+                    self.engine.stalls["rob_full"] += 1
+                    break
+                simple = ins.op is Op.NOP or ins.op is Op.HALT
+                if not simple and self.iq_count >= self.cfg.iq_size:
+                    self.engine.stalls["iq_full"] += 1
+                    return
+                if ins.is_mem and self.lsq_count >= self.cfg.lsq_size:
+                    self.engine.stalls["lsq_full"] += 1
+                    return
+                if not self.engine.try_rename(d):
+                    break
+                queue.popleft()
+                d.renamed_at = now
+                self.rob[tid].append(d)
+                self._rob_per_thread[tid] += 1
+                if simple:
+                    d.done = True
+                else:
+                    self._dispatch(d)
+                budget -= 1
+                if self.engine.trap_request is not None:
+                    return  # underflow: stall rename behind this return
+            if not budget:
+                break
+
+    def _dispatch(self, d: DynInst) -> None:
+        unready = 0
+        for p in (d.p_rs1, d.p_rs2):
+            if p is not None and not p.ready:
+                self._waiters.setdefault(p.idx, []).append(d)
+                unready += 1
+        d.n_unready = unready
+        d.in_iq = True
+        self.iq_count += 1
+        if d.instr.is_mem:
+            self.lsq_count += 1
+            if d.instr.is_store:
+                self._stores[d.tid].append(d)
+        if unready == 0:
+            heapq.heappush(self._ready, (d.seq, d))
+
+    def _wakeup(self, preg) -> None:
+        waiters = self._waiters.pop(preg.idx, None)
+        if not waiters:
+            return
+        for d in waiters:
+            if d.squashed:
+                continue
+            d.n_unready -= 1
+            if d.n_unready == 0 and d.in_iq and not d.issued:
+                heapq.heappush(self._ready, (d.seq, d))
+
+    # ==================================================================
+    # issue + execute
+    # ==================================================================
+    def _issue(self, now: int) -> None:
+        self._service_pending_loads(now)
+        budget = self.cfg.width
+        int_slots = self.cfg.int_alus
+        fp_slots = self.cfg.fp_units
+        deferred = []
+        while budget and self._ready:
+            _, d = heapq.heappop(self._ready)
+            if d.squashed or d.issued:
+                continue
+            if d.instr.is_fp_unit:
+                if fp_slots == 0:
+                    deferred.append(d)
+                    continue
+                fp_slots -= 1
+            else:
+                if int_slots == 0:
+                    deferred.append(d)
+                    continue
+                int_slots -= 1
+            d.issued = True
+            d.in_iq = False
+            self.iq_count -= 1
+            if d.instr.is_mem:
+                latency = 1  # AGU
+            else:
+                latency = self._latency[d.instr.latency_class]
+            self._wheel.setdefault(now + latency, []).append(("exec", d))
+            budget -= 1
+        for d in deferred:
+            heapq.heappush(self._ready, (d.seq, d))
+
+    def _complete_exec(self, d: DynInst) -> None:
+        if d.squashed:
+            return
+        res = execute(d.instr, d.src_value(1), d.src_value(2), d.pc)
+        ins = d.instr
+        if ins.is_load:
+            d.mem_addr = res.mem_addr
+            self._pending_loads.append(d)
+            self._pending_loads.sort(key=lambda x: x.seq)
+            return
+        if ins.is_store:
+            d.mem_addr = res.mem_addr
+            d.store_val = res.store_val
+            d.done = True  # the data-cache write happens at commit
+            return
+        d.result = res.result
+        if d.pdst is not None:
+            d.pdst.value = res.result
+            d.pdst.ready = True
+            self._wakeup(d.pdst)
+        d.done = True
+        if ins.is_branch:
+            d.actual_taken = res.taken
+            d.actual_target = (res.target if res.taken else d.pc + 1)
+            if d.actual_target != d.pred_next_pc:
+                d.mispredicted = True
+                self._recover(d)
+
+    # -- loads ------------------------------------------------------------
+    def _service_pending_loads(self, now: int) -> None:
+        if not self._pending_loads:
+            return
+        still: List[DynInst] = []
+        for d in self._pending_loads:
+            if d.squashed:
+                continue
+            action = self._try_load(d, now)
+            if action == "wait":
+                still.append(d)
+        self._pending_loads = still
+
+    def _try_load(self, d: DynInst, now: int) -> str:
+        """Resolve one address-ready load against the LSQ and DL1."""
+        match = None
+        for st in reversed(self._stores[d.tid]):
+            if st.squashed or st.seq > d.seq:
+                continue
+            if st.mem_addr is None:
+                return "wait"  # older store address unknown
+            if st.mem_addr == d.mem_addr:
+                match = st
+                break
+        if match is not None:
+            if not match.done:
+                return "wait"  # store data not ready yet
+            d.forwarded = True
+            d.result = match.store_val
+            self._wheel.setdefault(now + 1, []).append(("fwd", d))
+            return "done"
+        if not self.hierarchy.dl1_ports.try_acquire():
+            return "wait"  # retry next cycle
+        latency = self.hierarchy.dl1_access(d.mem_addr, write=False,
+                                            kind="load")
+        d.result = self.hierarchy.read_word(d.mem_addr)
+        self._wheel.setdefault(now + latency, []).append(("loaddata", d))
+        return "done"
+
+    def _complete_load(self, d: DynInst, from_forward: bool) -> None:
+        if d.squashed:
+            return
+        if d.pdst is not None:
+            d.pdst.value = d.result
+            d.pdst.ready = True
+            self._wakeup(d.pdst)
+        d.done = True
+
+    # ==================================================================
+    # commit
+    # ==================================================================
+    def _commit(self, now: int) -> None:
+        budget = self.cfg.width
+        stats = self.stats
+        n = len(self.threads)
+        order = [(self._commit_rr + i) % n for i in range(n)]
+        self._commit_rr = (self._commit_rr + 1) % n
+        for tid in order:
+            budget = self._commit_thread(now, self.rob[tid], budget)
+            if not budget:
+                break
+
+    def _commit_thread(self, now: int, rob: deque, budget: int) -> int:
+        stats = self.stats
+        while budget and rob:
+            d = rob[0]
+            if d.squashed:
+                rob.popleft()
+                continue
+            if not d.done:
+                break
+            ins = d.instr
+            if ins.is_store:
+                if not self.hierarchy.dl1_ports.try_acquire():
+                    break  # no store port this cycle; retry
+                self.hierarchy.dl1_access(d.mem_addr, write=True,
+                                          kind="store")
+                self.hierarchy.write_word(d.mem_addr, d.store_val)
+                stores = self._stores[d.tid]
+                if not stores or stores[0] is not d:  # pragma: no cover
+                    raise SimulationError("store commit out of LSQ order")
+                stores.pop(0)
+            if ins.is_mem:
+                self.lsq_count -= 1
+            self.engine.on_commit(d)
+            d.committed = True
+            t = stats.threads[d.tid]
+            t.committed += 1
+            self.threads[d.tid].inflight -= 1
+            if ins.is_cond_branch:
+                stats.cond_branches += 1
+                t.cond_branches += 1
+                self.predictor.train(d.pred_cp, d.actual_taken,
+                                     d.pred_taken)
+            if ins.is_fp_unit:
+                t.fp_ops += 1
+            if ins.is_load:
+                t.loads += 1
+            elif ins.is_store:
+                t.stores += 1
+            elif ins.is_call:
+                t.calls += 1
+            elif ins.op is Op.HALT:
+                th = self.threads[d.tid]
+                th.halted = True
+                th.fetch_halted = True
+                t.halted = True
+                t.halted_at = now
+            rob.popleft()
+            self._rob_per_thread[d.tid] -= 1
+            self._last_commit = now
+            budget -= 1
+        return budget
+
+    # ==================================================================
+    # misprediction recovery
+    # ==================================================================
+    def _recover(self, branch: DynInst) -> None:
+        self.stats.branch_mispredicts += 1
+        tid = branch.tid
+        seq = branch.seq
+        t = self.threads[tid]
+
+        # Drop not-yet-renamed wrong-path instructions from the front
+        # end (youngest-first, rewinding their speculative history).
+        dropped = []
+        kept = deque()
+        for entry in self.front[tid]:
+            d = entry[1]
+            if d.seq > seq:
+                d.squashed = True
+                t.inflight -= 1
+                self.stats.threads[tid].squashed += 1
+                dropped.append(d)
+            else:
+                kept.append(entry)
+        self.front[tid] = kept
+        for d in reversed(dropped):
+            if d.instr.is_cond_branch:
+                self.predictor.undo_spec(d.pred_cp)
+
+        # Squash renamed wrong-path instructions youngest-first so the
+        # rename engine can restore prior mappings in order.
+        victims = [d for d in self.rob[tid] if d.seq > seq]
+        for d in reversed(victims):
+            d.squashed = True
+            self._rob_per_thread[d.tid] -= 1
+            if d.instr.is_cond_branch:
+                self.predictor.undo_spec(d.pred_cp)
+            self.engine.on_squash(d)
+            if d.in_iq:
+                d.in_iq = False
+                self.iq_count -= 1
+            if d.instr.is_mem:
+                self.lsq_count -= 1
+            t.inflight -= 1
+            self.stats.threads[tid].squashed += 1
+        if victims:
+            self.rob[tid] = deque(d for d in self.rob[tid]
+                                  if not d.squashed)
+            st = self._stores[tid]
+            if st:
+                self._stores[tid] = [s for s in st if not s.squashed]
+
+        # Repair the predictor and redirect fetch.
+        ins = branch.instr
+        self.predictor.recover(branch.pred_cp, branch.actual_taken,
+                               was_cond=ins.is_cond_branch)
+        if ins.is_call:
+            self.predictor.ras.push(branch.pc + 1)
+        elif ins.is_ret:
+            self.predictor.ras.pop()
+        t.next_pc = branch.actual_target
+        t.fetch_halted = False
+
+    # ==================================================================
+    # conventional register-window trap sequencing (Section 4.1)
+    # ==================================================================
+    def _trap_sequencer(self, now: int) -> None:
+        req = self.engine.trap_request
+        if self._trap_phase is None:
+            if req is None:
+                return
+            if req.din.squashed:
+                self.engine.cancel_trap()
+                return
+            if any(self.rob):
+                return  # serialise: wait for the pipeline to drain
+            self._trap_phase = "delay"
+            self._trap_until = now + self.cfg.window_trap_cycles
+            return
+        self.stats.window_trap_cycles += 1
+        if self._trap_phase == "delay":
+            if req is not None and req.din.squashed:
+                self.engine.cancel_trap()
+                self._trap_phase = None
+                return
+            if now < self._trap_until:
+                return
+            self._trap_transfers = list(
+                self.engine.build_trap_transfers(req))
+            self.engine.cancel_trap()
+            self._trap_phase = "transfer"
+        if self._trap_phase == "transfer":
+            while self._trap_transfers and self.hierarchy.dl1_ports.try_acquire():
+                addr, is_write, payload = self._trap_transfers.pop(0)
+                latency = self.hierarchy.dl1_access(addr, write=is_write,
+                                                    kind="wtrap")
+                if is_write:
+                    # Saves drain through the write buffer; the trap
+                    # handler does not wait for them.
+                    self.hierarchy.write_word(addr, payload)
+                else:
+                    self._trap_outstanding += 1
+                    self._wheel.setdefault(now + latency, []).append(
+                        ("trapload", payload, addr))
+            if not self._trap_transfers and self._trap_outstanding == 0:
+                self._trap_phase = None

@@ -1,0 +1,87 @@
+"""Dynamic (in-flight) instruction state."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.frontend.branch import PredictorCheckpoint
+from repro.isa.instruction import Instruction
+from repro.rename.regfile import PhysReg
+
+
+class DynInst:
+    """One instruction as it flows through the out-of-order pipeline.
+
+    Fields are grouped by the stage that populates them; ``seq`` is a
+    global fetch-order sequence number used for age comparisons (within
+    one thread it is program/predicted-path order).
+    """
+
+    __slots__ = (
+        # fetch
+        "seq", "tid", "pc", "instr", "pred_taken", "pred_next_pc",
+        "pred_cp",
+        # rename
+        "p_rs1", "p_rs2", "pdst", "prev_pdst", "dest_key", "ctx_delta",
+        "renamed_at",
+        # scheduling
+        "n_unready", "in_iq", "issued", "done", "squashed", "committed",
+        # execution
+        "result", "mem_addr", "store_val", "actual_taken",
+        "actual_target", "mispredicted", "forwarded",
+        # structures
+        "lsq_slot", "trap_op",
+    )
+
+    def __init__(self, seq: int, tid: int, pc: int,
+                 instr: Instruction) -> None:
+        self.seq = seq
+        self.tid = tid
+        self.pc = pc
+        self.instr = instr
+        self.pred_taken = False
+        self.pred_next_pc = pc + 1
+        self.pred_cp: Optional[PredictorCheckpoint] = None
+
+        self.p_rs1: Optional[PhysReg] = None
+        self.p_rs2: Optional[PhysReg] = None
+        self.pdst: Optional[PhysReg] = None
+        self.prev_pdst: Optional[PhysReg] = None
+        self.dest_key = None
+        self.ctx_delta = 0
+        self.renamed_at = -1
+
+        self.n_unready = 0
+        self.in_iq = False
+        self.issued = False
+        self.done = False
+        self.squashed = False
+        self.committed = False
+
+        self.result: float = 0
+        self.mem_addr: Optional[int] = None
+        self.store_val: float = 0
+        self.actual_taken = False
+        self.actual_target: Optional[int] = None
+        self.mispredicted = False
+        self.forwarded = False
+
+        self.lsq_slot = None
+        #: Marks transfers injected by the conventional register-window
+        #: trap handler; they bypass rename and the branch machinery.
+        self.trap_op = False
+
+    # ------------------------------------------------------------------
+    def src_value(self, which: int) -> float:
+        """Value of source operand 1 or 2 (zero register reads as 0)."""
+        preg = self.p_rs1 if which == 1 else self.p_rs2
+        if preg is None:
+            return 0
+        return preg.value
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        flags = "".join(c for c, f in (
+            ("I", self.issued), ("D", self.done), ("C", self.committed),
+            ("X", self.squashed)) if f)
+        return (f"<#{self.seq} t{self.tid} pc={self.pc} "
+                f"{self.instr.disassemble()} {flags}>")

@@ -1,0 +1,95 @@
+"""Simulation statistics."""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+
+@dataclass
+class ThreadStats:
+    """Per-hardware-thread counters."""
+
+    committed: int = 0
+    halted_at: int = 0          # cycle the thread's HALT committed
+    halted: bool = False
+    fetched: int = 0
+    squashed: int = 0
+    loads: int = 0
+    stores: int = 0
+    calls: int = 0
+    fp_ops: int = 0
+    cond_branches: int = 0
+
+    def ipc(self, cycles: int) -> float:
+        return self.committed / cycles if cycles else 0.0
+
+
+@dataclass
+class SimStats:
+    """Machine-wide counters for one timing-simulation run."""
+
+    cycles: int = 0
+    threads: List[ThreadStats] = field(default_factory=list)
+    branch_mispredicts: int = 0
+    cond_branches: int = 0
+    spills: int = 0
+    fills: int = 0
+    window_overflows: int = 0
+    window_underflows: int = 0
+    window_trap_cycles: int = 0
+    rename_stalls: Counter = field(default_factory=Counter)
+    dl1_accesses: int = 0
+    dl1_breakdown: Dict[str, int] = field(default_factory=dict)
+    dl1_miss_rate: float = 0.0
+    l2_miss_rate: float = 0.0
+    rsid_flushes: int = 0
+    max_regs_in_use: int = 0
+
+    @property
+    def committed(self) -> int:
+        return sum(t.committed for t in self.threads)
+
+    @property
+    def ipc(self) -> float:
+        return self.committed / self.cycles if self.cycles else 0.0
+
+    def thread_ipc(self, tid: int) -> float:
+        """IPC of one thread over the measured window."""
+        t = self.threads[tid]
+        window = t.halted_at if t.halted else self.cycles
+        return t.committed / window if window else 0.0
+
+    @property
+    def dl1_accesses_per_instr(self) -> float:
+        return self.dl1_accesses / self.committed if self.committed else 0.0
+
+    @property
+    def mispredict_rate(self) -> float:
+        if not self.cond_branches:
+            return 0.0
+        return self.branch_mispredicts / self.cond_branches
+
+    def summary(self) -> str:
+        """Human-readable one-run report."""
+        lines = [
+            f"cycles                {self.cycles}",
+            f"committed             {self.committed}",
+            f"IPC                   {self.ipc:.3f}",
+            f"DL1 accesses          {self.dl1_accesses}"
+            f"  ({self.dl1_accesses_per_instr:.3f}/instr)",
+            f"DL1 breakdown         {self.dl1_breakdown}",
+            f"DL1 miss rate         {self.dl1_miss_rate:.4f}",
+            f"branch mispredicts    {self.branch_mispredicts}"
+            f"  (rate {self.mispredict_rate:.4f})",
+            f"spills / fills        {self.spills} / {self.fills}",
+            f"window traps          {self.window_overflows} ov /"
+            f" {self.window_underflows} un",
+            f"rename stalls         {dict(self.rename_stalls)}",
+        ]
+        for i, t in enumerate(self.threads):
+            lines.append(f"thread {i}: committed={t.committed} "
+                         f"ipc={self.thread_ipc(i):.3f} "
+                         f"halted={t.halted}")
+        return "\n".join(lines)

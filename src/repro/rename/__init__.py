@@ -1,0 +1,17 @@
+"""Register renaming: the conventional baseline and the paper's
+virtual context architecture."""
+
+from .astq import ASTQ, AstqOp
+from .base import RenameEngine, TrapRequest, UnrunnableConfigError
+from .context import ThreadContext
+from .conventional import ConventionalRename
+from .regfile import PhysReg, PhysRegFile
+from .rsid import RsidTable
+from .table import VcaRenameTable
+from .vca import VcaRename
+
+__all__ = [
+    "ASTQ", "AstqOp", "RenameEngine", "TrapRequest",
+    "UnrunnableConfigError", "ThreadContext", "ConventionalRename",
+    "PhysReg", "PhysRegFile", "RsidTable", "VcaRenameTable", "VcaRename",
+]

@@ -1,0 +1,60 @@
+"""Per-thread context base pointers (Sections 2.1.4 and 2.1.5).
+
+A thread's logical register context is identified by base pointers
+into the memory-mapped register space.  Following the paper's split
+for window-capable ISAs, each thread has two: a *global* pointer for
+the non-windowed registers (changes only on context switch, i.e.
+never within a run) and a *window* pointer that moves by one frame
+stride on every call and return.
+
+The window pointer is speculative — it moves when the call/return
+passes rename — and every dynamic instruction records its delta so the
+pipeline can unwind it during misprediction recovery.
+"""
+
+from __future__ import annotations
+
+from repro.asm.layout import (
+    WINDOW_STRIDE_BYTES, thread_global_base, thread_window_base,
+)
+from repro.isa.registers import global_slot, is_windowed, window_slot
+
+
+class ThreadContext:
+    """Base pointers and logical-address computation for one thread."""
+
+    def __init__(self, thread: int, windowed_abi: bool) -> None:
+        self.thread = thread
+        self.windowed_abi = windowed_abi
+        self.global_base = thread_global_base(thread)
+        self.window_base = thread_window_base(thread)
+        self.depth = 0          # speculative call depth (diagnostics)
+        self.max_depth = 0
+
+    def laddr(self, reg: int) -> int:
+        """Memory address of architectural register ``reg`` in the
+        thread's current context (base pointer + scaled index)."""
+        if is_windowed(reg):
+            return self.window_base + window_slot(reg) * 8
+        return self.global_base + global_slot(reg) * 8
+
+    # -- speculative window movement (applied at rename) ----------------
+    def push_window(self) -> None:
+        if not self.windowed_abi:
+            return
+        self.window_base += WINDOW_STRIDE_BYTES
+        self.depth += 1
+        self.max_depth = max(self.max_depth, self.depth)
+
+    def pop_window(self) -> None:
+        if not self.windowed_abi:
+            return
+        self.window_base -= WINDOW_STRIDE_BYTES
+        self.depth -= 1
+
+    def unwind(self, ctx_delta: int) -> None:
+        """Invert the window movement of a squashed instruction."""
+        if not ctx_delta:
+            return
+        self.window_base -= ctx_delta * WINDOW_STRIDE_BYTES
+        self.depth -= ctx_delta

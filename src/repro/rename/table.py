@@ -1,0 +1,138 @@
+"""The tagged, set-associative VCA rename table (Section 2.1.1).
+
+Unlike a conventional rename map, the VCA table maps registers from a
+large sparse address space, so each entry carries a tag (here, the
+RSID-compressed key) and a lookup may miss.  Entries whose physical
+register is a committed, unpinned cached value are eviction candidates
+(LRU within the set); entries pinned by in-flight instructions are
+not, and a set full of pinned entries stalls rename.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Optional, Tuple
+
+from .regfile import PhysReg, PhysRegFile
+
+#: A rename-table key: (rsid, register-space word offset).
+Key = Tuple[int, int]
+
+
+class VcaRenameTable:
+    """Set-associative logical-address -> physical-register map."""
+
+    def __init__(self, n_sets: int, assoc: int, regfile: PhysRegFile) -> None:
+        if n_sets & (n_sets - 1):
+            raise ValueError("n_sets must be a power of two")
+        if assoc < 1:
+            raise ValueError("assoc must be >= 1")
+        self.n_sets = n_sets
+        self.assoc = assoc
+        self.regfile = regfile
+        self._sets: List[Dict[Key, int]] = [{} for _ in range(n_sets)]
+        self.lookups = 0
+        self.misses = 0
+        self.conflict_evictions = 0
+
+    # ------------------------------------------------------------------
+    def _set_of(self, key: Key) -> Dict[Key, int]:
+        # The index folds in the frame bits (woff >> 6) and the RSID:
+        # register-window frames are a whole number of sets apart and
+        # different threads use identical register-space offsets, so
+        # indexing on the low offset bits alone would alias every
+        # window frame and every thread onto the same few sets.
+        rsid, woff = key
+        idx = (woff ^ (woff >> 6) ^ (rsid * 21)) & (self.n_sets - 1)
+        return self._sets[idx]
+
+    def lookup(self, key: Key) -> Optional[PhysReg]:
+        self.lookups += 1
+        idx = self._set_of(key).get(key)
+        if idx is None:
+            self.misses += 1
+            return None
+        return self.regfile.regs[idx]
+
+    def peek(self, key: Key) -> Optional[PhysReg]:
+        """Lookup without stats (internal bookkeeping paths)."""
+        idx = self._set_of(key).get(key)
+        return None if idx is None else self.regfile.regs[idx]
+
+    # ------------------------------------------------------------------
+    def set_mapping(self, key: Key, reg: PhysReg) -> None:
+        """Point ``key`` at ``reg``; replaces an existing mapping for
+        the same key, otherwise consumes a way (caller ensures room)."""
+        s = self._set_of(key)
+        old = s.get(key)
+        if old is None and len(s) >= self.assoc:
+            raise RuntimeError(f"set full for key {key}")
+        if old is not None:
+            self.regfile.regs[old].in_table = False
+        s[key] = reg.idx
+        reg.in_table = True
+
+    def remove(self, key: Key) -> None:
+        s = self._set_of(key)
+        idx = s.pop(key)
+        self.regfile.regs[idx].in_table = False
+
+    def has_room(self, key: Key) -> bool:
+        s = self._set_of(key)
+        return key in s or len(s) < self.assoc
+
+    def find_set_victim(self, key: Key,
+                        exclude: Optional[PhysReg] = None,
+                        min_age: int = 0
+                        ) -> Optional[Tuple[Key, PhysReg]]:
+        """LRU evictable entry in ``key``'s set (cached values only).
+
+        ``exclude`` protects a register the caller is about to use as
+        the previous mapping of a destination — evicting it would free
+        the value branch recovery still needs.  ``min_age`` protects
+        recently used values: a cached register touched within the
+        last ``min_age`` cycles is part of the live working set, and
+        evicting it would only trigger an immediate refill (the
+        fill-evict-fill thrash loop); rename stalls instead.
+        """
+        horizon = self.regfile.now - min_age
+        best: Optional[Tuple[int, Key, int]] = None
+        for k, idx in self._set_of(key).items():
+            reg = self.regfile.regs[idx]
+            if reg is exclude or reg.last_use > horizon:
+                continue
+            if reg.cached and (best is None or reg.last_use < best[0]):
+                best = (reg.last_use, k, idx)
+        if best is None:
+            return None
+        return best[1], self.regfile.regs[best[2]]
+
+    def find_global_victim(self, exclude: Optional[PhysReg] = None,
+                           min_age: int = 0
+                           ) -> Optional[Tuple[Key, PhysReg]]:
+        """LRU evictable entry across the whole table (used when the
+        free list is empty but the target set still has room)."""
+        horizon = self.regfile.now - min_age
+        best: Optional[Tuple[int, Key, int]] = None
+        for s in self._sets:
+            for k, idx in s.items():
+                reg = self.regfile.regs[idx]
+                if reg is exclude or reg.last_use > horizon:
+                    continue
+                if reg.cached and (best is None or reg.last_use < best[0]):
+                    best = (reg.last_use, k, idx)
+        if best is None:
+            return None
+        return best[1], self.regfile.regs[best[2]]
+
+    # ------------------------------------------------------------------
+    def entries(self) -> Iterator[Tuple[Key, PhysReg]]:
+        for s in self._sets:
+            for k, idx in list(s.items()):
+                yield k, self.regfile.regs[idx]
+
+    def entries_for_rsid(self, rsid: int) -> List[Tuple[Key, PhysReg]]:
+        return [(k, r) for k, r in self.entries() if k[0] == rsid]
+
+    @property
+    def occupancy(self) -> int:
+        return sum(len(s) for s in self._sets)

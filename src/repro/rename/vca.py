@@ -1,0 +1,441 @@
+"""The Virtual Context Architecture rename engine (Section 2).
+
+Renaming is the two-stage process of Section 2.1.1: a register index
+is combined with the thread's context base pointer to form a logical
+register memory address, which is then looked up in a tagged,
+set-associative rename table.  A source miss allocates a physical
+register and generates a *fill*; allocation with no free registers
+evicts the LRU unpinned committed register, generating a *spill* if
+the value is dirty.  Spills and fills flow through the ASTQ
+(Section 2.2.2), and addresses are compressed through the RSID
+translation table (Section 2.2.1) before indexing the rename table.
+
+Structural limits modelled per Section 3: 8 rename-table ports per
+cycle with same-register reads combined; at most two ASTQ writes per
+cycle; a 4-entry ASTQ.  Exhausting any of these delays the instruction
+to the next cycle.
+
+Misprediction recovery follows the commit-table philosophy of
+Section 2.1.3: the pipeline squashes youngest-first and each squashed
+instruction restores the previous mapping of its destination, which
+reconstructs exactly the state the Pentium-4-style retirement-map walk
+would produce.
+
+``ideal=True`` turns the engine into the paper's idealised
+register-window machine: spills and fills are instantaneous and
+traffic-free, the rename table is unbounded and untagged, and no extra
+rename stage is charged.  This provides the lower-bound curve of
+Figures 4-6 while sharing all bookkeeping with the real engine.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.asm.layout import WINDOW_STRIDE_BYTES
+from repro.asm.program import Program
+from repro.config import MachineConfig
+from repro.isa.registers import SP_REG
+from repro.mem.hierarchy import MemoryHierarchy
+
+from .astq import ASTQ
+from .base import RenameEngine
+from .context import ThreadContext
+from .regfile import PhysReg
+from .rsid import RsidTable
+from .table import VcaRenameTable
+
+Undo = Callable[[], None]
+
+
+class VcaRename(RenameEngine):
+    """VCA renaming for flat or windowed binaries, 1-N threads."""
+
+    def __init__(self, cfg: MachineConfig, hierarchy: MemoryHierarchy,
+                 ideal: bool = False) -> None:
+        super().__init__(cfg, hierarchy)
+        self.ideal = ideal
+        self.extra_rename_stage = not ideal
+        if ideal:
+            # Unbounded, conflict-free table; no RSID compression.
+            self.table = VcaRenameTable(1, 1 << 30, self.regfile)
+            self.rsid: Optional[RsidTable] = None
+            self._astq: Optional[ASTQ] = None
+        else:
+            self.table = VcaRenameTable(cfg.vca_table_sets,
+                                        cfg.effective_vca_assoc,
+                                        self.regfile)
+            self.rsid = RsidTable(cfg.rsid_entries, cfg.rsid_offset_bits)
+            self._astq = ASTQ(cfg.astq_size, cfg.astq_writes_per_cycle,
+                              hierarchy, self.regfile)
+        self.contexts: Dict[int, ThreadContext] = {}
+        self._ports_used = 0
+        #: RSID whose register space is being flushed, or None.
+        self._flush_rsid: Optional[int] = None
+        self._flush_entries: List[Tuple[Tuple[int, int], PhysReg]] = []
+        self.fills_generated = 0
+        self.spills_generated = 0
+        self.rsid_flush_stall_cycles = 0
+        #: Registers reclaimed spill-free by the dead-window extension.
+        self.dead_drops = 0
+
+    # -- plumbing ------------------------------------------------------------
+    @property
+    def astq(self) -> Optional[ASTQ]:
+        return self._astq
+
+    @property
+    def busy(self) -> bool:
+        return self._astq is not None and self._astq.busy
+
+    def begin_cycle(self) -> None:
+        self._ports_used = 0
+        self.regfile.now += 1
+        if self._astq is not None:
+            self._astq.begin_cycle()
+        if self._flush_rsid is not None:
+            self._advance_rsid_flush()
+
+    # -- initialisation ---------------------------------------------------------
+    def init_thread(self, tid: int, program: Program) -> None:
+        ctx = ThreadContext(tid, windowed_abi=program.windowed)
+        self.contexts[tid] = ctx
+        # Initial architectural state lives in the memory-mapped
+        # register space; the first read of SP fills it from memory.
+        self.hierarchy.memory.load_image(
+            {ctx.laddr(SP_REG): program.stack_top})
+        # Warm the hot part of the register space (global frame plus
+        # the first window frames) along with the rest of the
+        # warm-start state, so short runs do not pay the cold-miss
+        # transient the paper's 5M-instruction warmup absorbs.
+        self.hierarchy.warm(ctx.global_base, ctx.global_base + 256)
+        self.hierarchy.warm(ctx.window_base,
+                            ctx.window_base + 8 * 512)
+
+    # -- key handling ----------------------------------------------------------
+    def _key_for(self, laddr: int,
+                 journal: Optional[List[Undo]]) -> Optional[Tuple[int, int]]:
+        """RSID-compressed rename-table key for ``laddr``.
+
+        Returns None when translation requires an RSID replacement,
+        which first flushes the victim register space (rename stalls
+        until the flush drains).
+        """
+        if self.rsid is None:
+            return (0, laddr >> 3)
+        upper, woff = self.rsid.split(laddr)
+        rs = self.rsid.lookup(upper)
+        if rs is None:
+            if self.rsid.has_free:
+                rs = self.rsid.install(upper)
+                if journal is not None:
+                    journal.append(lambda r=rs: self.rsid.evict(r))
+            else:
+                self._start_rsid_flush()
+                return None
+        return (rs, woff)
+
+    def _start_rsid_flush(self) -> None:
+        if self._flush_rsid is not None:
+            return
+        victim = self.rsid.lru_victim()
+        self._flush_rsid = victim
+        self._flush_entries = self.table.entries_for_rsid(victim)
+
+    def _advance_rsid_flush(self) -> None:
+        """Drain the pending RSID flush: spill/unmap that register
+        space's entries a few per cycle, then release the RSID.
+
+        The entry list is recomputed every cycle because commits and
+        squashes continue while rename is stalled and may replace or
+        restore mappings in the victim space.
+        """
+        self.rsid_flush_stall_cycles += 1
+        budget = (self.cfg.astq_writes_per_cycle
+                  if self._astq is not None else 1 << 30)
+        entries = self.table.entries_for_rsid(self._flush_rsid)
+        blocked = False
+        for key, reg in entries:
+            if budget <= 0 or reg.pinned or not reg.committed:
+                blocked = True  # retry next cycle
+                continue
+            if reg.dirty:
+                if self._astq is not None and not self._astq.can_write(1):
+                    blocked = True
+                    continue
+                self._spill(reg)
+                budget -= 1
+            self.table.remove(key)
+            self.regfile.free(reg)
+        if not blocked and not self.table.entries_for_rsid(self._flush_rsid):
+            self.rsid.evict(self._flush_rsid)
+            self.rsid.flushes += 1
+            self._flush_rsid = None
+
+    # -- spill / fill ------------------------------------------------------------
+    def _spill(self, reg: PhysReg) -> None:
+        self.spills_generated += 1
+        if self.ideal:
+            self.hierarchy.write_word(reg.laddr, reg.value)
+        else:
+            self._astq.push_spill(reg.laddr, reg.value)
+
+    def _fill(self, reg: PhysReg, laddr: int) -> None:
+        self.fills_generated += 1
+        if self.ideal:
+            reg.value = self.hierarchy.read_word(laddr)
+            reg.ready = True
+            reg.committed = True
+            reg.dirty = False
+            reg.from_fill = True
+        else:
+            reg.ready = False
+            self._astq.push_fill(laddr, reg)
+
+    # -- allocation --------------------------------------------------------------
+    def _evict(self, key: Tuple[int, int], reg: PhysReg,
+               journal: List[Undo]) -> bool:
+        """Reclaim a cached register: spill if dirty, unmap, free."""
+        if reg.dirty:
+            if self._astq is not None and not self._astq.can_write(1):
+                self.stalls["astq_full"] += 1
+                return False
+            if self.ideal:
+                self.hierarchy.write_word(reg.laddr, reg.value)
+                self.spills_generated += 1
+            else:
+                op = self._astq.push_spill(reg.laddr, reg.value)
+                self.spills_generated += 1
+                journal.append(lambda o=op: self._astq.unpush(o))
+        snapshot = (reg.value, reg.ready, reg.committed, reg.dirty,
+                    reg.laddr, reg.from_fill, reg.last_use)
+        self.table.remove(key)
+        self.regfile.free(reg)
+
+        def undo(r=reg, k=key, s=snapshot):
+            p = self.regfile.alloc()
+            assert p is r, "rollback out of order"
+            (r.value, r.ready, r.committed, r.dirty, r.laddr,
+             r.from_fill, r.last_use) = s
+            self.table.set_mapping(k, r)
+        journal.append(undo)
+        return True
+
+    def _alloc(self, key: Tuple[int, int], journal: List[Undo],
+               exclude: Optional[PhysReg] = None) -> Optional[PhysReg]:
+        """A free physical register plus a free way for ``key``.
+
+        ``exclude`` shields the destination's previous mapping: it is
+        out of the rename table only after ``set_mapping`` runs, so
+        without the shield the global LRU scan could evict and
+        reallocate the very register recovery needs as ``prev_pdst``.
+        """
+        min_age = 0 if self.ideal else self.cfg.vca_protect_cycles
+        if not self.table.has_room(key):
+            victim = self.table.find_set_victim(key, exclude, min_age)
+            if victim is None:
+                self.stalls["set_conflict"] += 1
+                return None
+            if not self._evict(*victim, journal):
+                return None
+        p = self.regfile.alloc()
+        if p is None:
+            victim = self.table.find_global_victim(exclude, min_age)
+            if victim is None:
+                self.stalls["no_preg"] += 1
+                return None
+            if not self._evict(*victim, journal):
+                return None
+            p = self.regfile.alloc()
+            if p is None:  # the evicted way was in our (full) set
+                self.stalls["no_preg"] += 1
+                return None
+        journal.append(lambda r=p: self.regfile.unfree(r))
+        return p
+
+    # -- rename proper ------------------------------------------------------------
+    def try_rename(self, d) -> bool:
+        if self._flush_rsid is not None:
+            self.stalls["rsid_flush"] += 1
+            return False
+        if self._astq is not None:
+            self._astq.begin_instruction()
+        journal: List[Undo] = []
+        if self._rename_inner(d, journal):
+            return True
+        for undo in reversed(journal):
+            undo()
+        d.p_rs1 = d.p_rs2 = d.pdst = d.prev_pdst = None
+        d.dest_key = None
+        d.ctx_delta = 0
+        return False
+
+    def _rename_inner(self, d, journal: List[Undo]) -> bool:
+        ins = d.instr
+        ctx = self.contexts[d.tid]
+        srcs = [r for r in (ins.rs1, ins.rs2) if r is not None and r != 31]
+        src_laddrs = [ctx.laddr(r) for r in srcs]
+
+        # A call enters the new window before its destination (the
+        # return-address register) is renamed; a return renames its
+        # source in the current window and pops afterwards.
+        if ins.is_call and ctx.windowed_abi:
+            ctx.push_window()
+            d.ctx_delta = 1
+            journal.append(ctx.pop_window)
+        dest = ins.dest()
+        dest_laddr = ctx.laddr(dest) if dest is not None else None
+        if ins.is_ret and ctx.windowed_abi:
+            # Remember the departing frame for the dead-window
+            # extension (returns have no destination, so dest_key is
+            # free to carry it).
+            d.dest_key = ("retframe", ctx.window_base)
+            ctx.pop_window()
+            d.ctx_delta = -1
+            journal.append(ctx.push_window)
+
+        # Rename-table port budget: reads of the same register combine.
+        if not self.ideal:
+            distinct = set(src_laddrs)
+            if dest_laddr is not None:
+                distinct.add(dest_laddr)
+            need = len(distinct)
+            if self._ports_used and self._ports_used + need > self.cfg.vca_rename_ports:
+                self.stalls["rename_ports"] += 1
+                return False
+            used_before = self._ports_used
+            self._ports_used += need
+            journal.append(
+                lambda u=used_before: setattr(self, "_ports_used", u))
+
+        # Sources: lookup, filling on miss.
+        for pos, (reg, laddr) in enumerate(zip(srcs, src_laddrs)):
+            key = self._key_for(laddr, journal)
+            if key is None:
+                self.stalls["rsid_flush"] += 1
+                return False
+            p = self.table.lookup(key)
+            if p is None:
+                if (self._astq is not None and not self._astq.can_write(1)):
+                    self.stalls["astq_full"] += 1
+                    return False
+                p = self._alloc(key, journal)
+                if p is None:
+                    return False
+                p.laddr = laddr
+                p.committed = False
+                self.table.set_mapping(key, p)
+                journal.append(lambda k=key: self.table.remove(k))
+                self._fill(p, laddr)
+                if not self.ideal:
+                    op = self._astq.queue[-1]
+                    journal.append(lambda o=op: self._astq.unpush(o))
+            p.refcount += 1
+            journal.append(lambda r=p: setattr(r, "refcount", r.refcount - 1))
+            self.regfile.touch(p)
+            if ins.rs1 == reg and d.p_rs1 is None:
+                d.p_rs1 = p
+            else:
+                d.p_rs2 = p
+
+        # Destination.
+        if dest is not None:
+            key = self._key_for(dest_laddr, journal)
+            if key is None:
+                self.stalls["rsid_flush"] += 1
+                return False
+            prev = self.table.peek(key)
+            p = self._alloc(key, journal, exclude=prev)
+            if p is None:
+                return False
+            p.laddr = dest_laddr
+            p.ready = False
+            p.committed = False
+            p.refcount = 1
+            self.table.set_mapping(key, p)
+
+            def undo_dest(k=key, pr=prev):
+                if pr is not None:
+                    self.table.set_mapping(k, pr)
+                else:
+                    self.table.remove(k)
+            journal.append(undo_dest)
+            d.pdst = p
+            d.prev_pdst = prev
+            d.dest_key = key
+        return True
+
+    # -- retire / recover -----------------------------------------------------------
+    def on_commit(self, d) -> None:
+        # References are counted per operand use, so a register feeding
+        # both sources is unpinned twice.
+        if d.p_rs1 is not None:
+            self.regfile.unpin(d.p_rs1)
+        if d.p_rs2 is not None:
+            self.regfile.unpin(d.p_rs2)
+        if d.pdst is not None:
+            p = d.pdst
+            p.committed = True
+            p.dirty = True
+            p.from_fill = False
+            self.regfile.unpin(p)
+            prev = d.prev_pdst
+            if prev is not None:
+                prev.doomed = True
+                if not prev.pinned:
+                    self.regfile.free(prev)
+        if (self.cfg.vca_dead_window_hint and d.instr.is_ret
+                and d.ctx_delta == -1):
+            self._drop_dead_window(d.dest_key[1])
+
+    def _drop_dead_window(self, frame_base: int) -> None:
+        """Section 6 extension: a committed return makes the departing
+        window architecturally dead (the ABI gives every activation a
+        fresh window), so its cached registers are reclaimed without
+        spilling — "avoid spilling dead values to memory and reclaim
+        dead registers preferentially over live but inactive ones".
+
+        Registers still pinned (e.g. by an in-flight fill) are left
+        alone; they are rare and die through the normal paths.
+        """
+        hi = frame_base + WINDOW_STRIDE_BYTES
+        for key, reg in list(self.table.entries()):
+            if (reg.laddr is not None and frame_base <= reg.laddr < hi
+                    and reg.cached):
+                self.table.remove(key)
+                self.regfile.free(reg)
+                self.dead_drops += 1
+
+    def on_squash(self, d) -> None:
+        if d.pdst is not None:
+            p = d.pdst
+            p.refcount -= 1
+            if d.prev_pdst is not None:
+                self.table.set_mapping(d.dest_key, d.prev_pdst)
+            else:
+                self.table.remove(d.dest_key)
+            self.regfile.free(p)
+        if d.p_rs1 is not None:
+            self.regfile.unpin(d.p_rs1)
+        if d.p_rs2 is not None:
+            self.regfile.unpin(d.p_rs2)
+        if d.ctx_delta:
+            self.contexts[d.tid].unwind(d.ctx_delta)
+
+    # -- inspection ----------------------------------------------------------------
+    def arch_value(self, tid: int, reg: int) -> float:
+        if reg == 31:
+            return 0
+        laddr = self.contexts[tid].laddr(reg)
+        if self.rsid is None:
+            key = (0, laddr >> 3)
+        else:
+            upper, woff = self.rsid.split(laddr)
+            rs = self.rsid.lookup(upper)
+            if rs is None:  # space not resident: the value is in memory
+                return self.hierarchy.read_word(laddr)
+            key = (rs, woff)
+        p = self.table.peek(key)
+        if p is not None:
+            return p.value
+        return self.hierarchy.read_word(laddr)

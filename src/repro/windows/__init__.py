@@ -1,0 +1,7 @@
+"""Register-window comparison machines: conventional (trap-based) and
+idealised (instant, traffic-free)."""
+
+from .conventional import ConventionalWindowRename, max_windows
+from .ideal import IdealWindowRename
+
+__all__ = ["ConventionalWindowRename", "IdealWindowRename", "max_windows"]

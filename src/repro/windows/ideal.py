@@ -1,0 +1,23 @@
+"""Idealised register-window machine (Section 4.1).
+
+A lower bound on windowed execution time: spills and fills happen
+"instantaneously and without accessing the data cache".  Structurally
+it is the VCA engine with an unbounded untagged rename table, no
+structural rename limits, zero-latency traffic-free spills/fills and
+no extra rename stage — so it shares all register-management
+bookkeeping with the real engine while charging none of its costs.
+"""
+
+from __future__ import annotations
+
+from repro.config import MachineConfig
+from repro.mem.hierarchy import MemoryHierarchy
+from repro.rename.vca import VcaRename
+
+
+class IdealWindowRename(VcaRename):
+    """``VcaRename`` in ideal mode; see the module docstring."""
+
+    def __init__(self, cfg: MachineConfig,
+                 hierarchy: MemoryHierarchy) -> None:
+        super().__init__(cfg, hierarchy, ideal=True)

@@ -1,0 +1,15 @@
+"""Synthetic SPEC-like benchmark suite and SMT workload construction."""
+
+from .generator import (
+    BenchmarkBuilder, benchmark_program, build_benchmark,
+)
+from .profiles import (
+    ALL_BENCHMARKS, PROFILES, RW_BENCHMARKS, SMT_EXTRA_BENCHMARKS,
+    TABLE2_RATIOS, BenchmarkProfile,
+)
+
+__all__ = [
+    "BenchmarkBuilder", "benchmark_program", "build_benchmark",
+    "ALL_BENCHMARKS", "PROFILES", "RW_BENCHMARKS",
+    "SMT_EXTRA_BENCHMARKS", "TABLE2_RATIOS", "BenchmarkProfile",
+]

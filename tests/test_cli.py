@@ -1,0 +1,71 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestCli:
+    def test_list(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "vca-rw" in out and "vortex_2" in out
+
+    def test_run_single(self, capsys):
+        assert main(["run", "--model", "baseline",
+                     "--bench", "gzip_graphic",
+                     "--regs", "128", "--scale", "0.2"]) == 0
+        out = capsys.readouterr().out
+        assert "IPC" in out and "cycles" in out
+
+    def test_run_smt(self, capsys):
+        assert main(["run", "--model", "vca",
+                     "--bench", "gzip_graphic", "crafty",
+                     "--regs", "192", "--scale", "0.2"]) == 0
+        out = capsys.readouterr().out
+        assert "thread 1" in out
+
+    def test_disasm(self, capsys):
+        assert main(["disasm", "--bench", "gzip_graphic",
+                     "--abi", "windowed", "--limit", "20"]) == 0
+        out = capsys.readouterr().out
+        assert "main:" in out
+
+    def test_unknown_benchmark_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["run", "--bench", "nonexistent"])
+
+    def test_unknown_command_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["frobnicate"])
+
+    def test_parser_covers_every_figure(self):
+        parser = build_parser()
+        for cmd in ("table2", "fig4", "fig5", "fig6", "fig7", "fig8",
+                    "sec43"):
+            args = parser.parse_args(
+                [cmd] + (["--scale", "0.2"]))
+            assert callable(args.fn)
+
+    def test_table2_command(self, capsys):
+        assert main(["table2"]) == 0
+        out = capsys.readouterr().out
+        assert "vortex_2" in out and "0.82" in out
+
+
+class TestCsvExport:
+    def test_series_roundtrip(self, tmp_path):
+        from repro.experiments.export import (
+            read_series_csv, write_series_csv)
+        series = {"a": {64: 1.0, 128: None}, "b": {64: 0.5, 128: 2.0}}
+        path = write_series_csv(str(tmp_path / "s.csv"), "regs", series)
+        assert read_series_csv(str(path)) == series
+
+    def test_fig4_csv_flag(self, capsys, tmp_path):
+        from repro.cli import main
+        out = tmp_path / "fig4.csv"
+        assert main(["fig4", "--bench", "gzip_graphic",
+                     "--scale", "0.3", "--csv", str(out)]) == 0
+        assert out.exists()
+        text = out.read_text()
+        assert "vca-rw" in text and "series" in text

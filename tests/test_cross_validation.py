@@ -1,0 +1,69 @@
+"""Randomised cross-validation: programs generated from random
+profiles must produce identical architectural results on the golden
+functional model and on every timing machine.
+
+This is the strongest correctness property in the suite: the timing
+models and the functional interpreter are fully independent
+implementations of the ISA, and the five machines exercise completely
+different rename/window machinery.
+"""
+
+import dataclasses
+
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.config import MachineConfig
+from repro.functional import FunctionalSim
+from repro.models import build_machine, model_abi
+from repro.workloads.generator import BenchmarkBuilder
+from repro.workloads.profiles import BenchmarkProfile
+
+profile_strategy = st.builds(
+    BenchmarkProfile,
+    name=st.sampled_from(["xval_a", "xval_b", "xval_c", "xval_d"]),
+    call_interval=st.integers(min_value=40, max_value=400),
+    locals_int=st.integers(min_value=4, max_value=12),
+    locals_fp=st.integers(min_value=0, max_value=5),
+    levels=st.integers(min_value=1, max_value=3),
+    reps=st.integers(min_value=1, max_value=3),
+    recursion=st.sampled_from([0, 0, 8, 20]),
+    working_set=st.sampled_from([1024, 4096]),
+    load_frac=st.floats(min_value=0.05, max_value=0.3),
+    store_frac=st.floats(min_value=0.02, max_value=0.15),
+    fp_frac=st.floats(min_value=0.0, max_value=0.2),
+    branch_frac=st.floats(min_value=0.02, max_value=0.12),
+    branch_random=st.floats(min_value=0.0, max_value=0.4),
+    chase_frac=st.sampled_from([0.0, 0.05]),
+    ilp=st.integers(min_value=1, max_value=4),
+    target_dynamic=st.just(3000),
+)
+
+
+def checksum_of(program, machine) -> float:
+    return machine.hierarchy.read_word(program.data_base)
+
+
+@pytest.mark.parametrize("model,phys_regs", [
+    ("baseline", 256), ("vca", 256), ("vca-rw", 256),
+    ("vca-rw", 64), ("ideal-rw", 96), ("conventional-rw", 128),
+])
+@given(profile=profile_strategy)
+@settings(max_examples=8, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+def test_timing_matches_functional(model, phys_regs, profile):
+    profile = dataclasses.replace(profile, fp=profile.fp_frac > 0)
+    abi = model_abi(model)
+    builder = BenchmarkBuilder(profile)
+    program = builder.build().assemble(abi)
+
+    golden = FunctionalSim(program)
+    golden.run()
+    expected = golden.read_mem(program.data_base)
+
+    machine = build_machine(
+        model, MachineConfig.baseline(phys_regs=phys_regs), [program])
+    stats = machine.run()
+    assert checksum_of(program, machine) == expected
+    assert stats.committed == golden.stats.instructions
+    machine.engine.regfile.check_invariants()

@@ -1,0 +1,36 @@
+"""Tests for the register-window experiment drivers (reduced scale)."""
+
+from repro.experiments.rw import (
+    REG_SIZES, RW_MODELS, fig4_execution_time, rw_sweep,
+)
+
+SUB = ("gzip_graphic",)
+SCALE = 0.3
+
+
+class TestRwSweep:
+    def test_sweep_covers_grid(self):
+        sweep = rw_sweep(models=("baseline", "vca-rw"), sizes=(128, 256),
+                         benches=SUB, scale=SCALE)
+        assert set(sweep) == {("baseline", 128), ("baseline", 256),
+                              ("vca-rw", 128), ("vca-rw", 256)}
+        assert all(len(v) == 1 for v in sweep.values())
+
+    def test_unrunnable_points_flagged(self):
+        sweep = rw_sweep(models=("baseline",), sizes=(64,), benches=SUB,
+                         scale=SCALE)
+        assert sweep[("baseline", 64)][0].unrunnable
+
+    def test_fig4_normalisation_anchor(self):
+        series = fig4_execution_time(benches=SUB, sizes=(256,),
+                                     scale=SCALE)
+        # The baseline at 256 registers is its own reference.
+        assert series["baseline"][256] == 1.0
+
+    def test_fig4_has_all_models(self):
+        series = fig4_execution_time(benches=SUB, sizes=(128,),
+                                     scale=SCALE)
+        assert set(series) == set(RW_MODELS)
+
+    def test_reg_sizes_match_paper(self):
+        assert REG_SIZES == (64, 128, 192, 256)

@@ -1,0 +1,109 @@
+"""Unit tests for the VRISC ISA layer."""
+
+import pytest
+
+from repro.isa import (
+    HALT, Instruction, NOP, Op, RA_REG, SP_REG, WINDOW_REGS, ZERO_REG,
+    is_fp, is_windowed, make_call, make_ret, parse_reg, reg_name,
+)
+from repro.isa.registers import (
+    GLOBAL_REGS, WINDOWED_FP, WINDOWED_INT, WINDOWED_REGS, global_slot,
+    window_slot,
+)
+
+
+class TestRegisterLayout:
+    def test_partition_is_complete_and_disjoint(self):
+        assert set(GLOBAL_REGS) | set(WINDOWED_REGS) == set(range(64))
+        assert not set(GLOBAL_REGS) & set(WINDOWED_REGS)
+
+    def test_window_size_matches_paper_partition(self):
+        # 22 windowed int + 24 windowed fp = 46 registers per frame.
+        assert len(WINDOWED_INT) == 22
+        assert len(WINDOWED_FP) == 24
+        assert WINDOW_REGS == 46
+
+    def test_call_linkage_registers_are_classified_correctly(self):
+        # Registers that communicate across calls are global (paper 3.1).
+        for arg in range(8):
+            assert not is_windowed(arg)
+        assert not is_windowed(SP_REG)
+        assert not is_windowed(ZERO_REG)
+        # The return-address register is windowed (SPARC-like linkage).
+        assert is_windowed(RA_REG)
+
+    def test_window_slots_are_dense(self):
+        slots = sorted(window_slot(r) for r in WINDOWED_REGS)
+        assert slots == list(range(WINDOW_REGS))
+
+    def test_global_slots_are_dense(self):
+        slots = sorted(global_slot(r) for r in GLOBAL_REGS)
+        assert slots == list(range(len(GLOBAL_REGS)))
+
+    def test_fp_classification(self):
+        assert not is_fp(0)
+        assert not is_fp(31)
+        assert is_fp(32)
+        assert is_fp(63)
+
+    def test_reg_name_roundtrip(self):
+        for r in range(64):
+            assert parse_reg(reg_name(r)) == r
+
+    def test_parse_reg_rejects_garbage(self):
+        for bad in ("x3", "r32", "f-1", "r", ""):
+            with pytest.raises(ValueError):
+                parse_reg(bad)
+
+
+class TestInstruction:
+    def test_sources_exclude_zero_register(self):
+        ins = Instruction(Op.ADD, rd=1, rs1=2, rs2=ZERO_REG)
+        assert ins.sources() == (2,)
+
+    def test_dest_of_zero_register_write_is_none(self):
+        ins = Instruction(Op.ADD, rd=ZERO_REG, rs1=1, rs2=2)
+        assert ins.dest() is None
+
+    def test_store_has_two_sources_no_dest(self):
+        ins = Instruction(Op.ST, rs1=SP_REG, rs2=5, imm=8)
+        assert set(ins.sources()) == {SP_REG, 5}
+        assert ins.dest() is None
+        assert ins.is_store and ins.is_mem and not ins.is_load
+
+    def test_load_classification(self):
+        ins = Instruction(Op.LD, rd=3, rs1=SP_REG, imm=0)
+        assert ins.is_load and ins.is_mem and not ins.is_store
+
+    def test_call_ret_classification(self):
+        call = make_call(17)
+        assert call.is_call and call.is_branch and call.dest() == RA_REG
+        ret = make_ret()
+        assert ret.is_ret and ret.is_branch and ret.sources() == (RA_REG,)
+
+    def test_conditional_branch_classification(self):
+        ins = Instruction(Op.BNE, rs1=4, target=10)
+        assert ins.is_cond_branch and ins.is_branch
+
+    def test_latency_classes(self):
+        assert Instruction(Op.MUL, rd=1, rs1=2, rs2=3).latency_class == "imul"
+        assert Instruction(Op.FDIV, rd=33, rs1=34, rs2=35).latency_class == "fdiv"
+        assert Instruction(Op.FADD, rd=33, rs1=34, rs2=35).latency_class == "fp"
+        assert Instruction(Op.ADD, rd=1, rs1=2, rs2=3).latency_class == "int"
+
+    def test_validation_rejects_incomplete_operands(self):
+        with pytest.raises(ValueError):
+            Instruction(Op.ADD, rd=1, rs1=2)          # missing rs2
+        with pytest.raises(ValueError):
+            Instruction(Op.LD, rd=1)                   # missing base
+        with pytest.raises(ValueError):
+            Instruction(Op.ST, rs1=1)                  # missing data
+
+    def test_disassembly_mentions_operands(self):
+        ins = Instruction(Op.ADDI, rd=4, rs1=5, imm=12)
+        text = ins.disassemble()
+        assert "addi" in text and "r4" in text and "r5" in text and "12" in text
+
+    def test_nop_and_halt_have_no_operands(self):
+        assert NOP.sources() == () and NOP.dest() is None
+        assert HALT.sources() == () and HALT.dest() is None

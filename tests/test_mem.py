@@ -1,0 +1,162 @@
+"""Unit tests for the memory substrate."""
+
+import pytest
+
+from repro.config import CacheConfig, MachineConfig
+from repro.mem import Cache, MainMemory, MemoryHierarchy, PortArbiter
+
+
+class TestMainMemory:
+    def test_unwritten_reads_zero(self):
+        m = MainMemory()
+        assert m.read(0x1000) == 0
+
+    def test_write_read_roundtrip(self):
+        m = MainMemory()
+        m.write(0x20, 99)
+        assert m.read(0x20) == 99
+
+    def test_unaligned_rejected(self):
+        m = MainMemory()
+        with pytest.raises(ValueError):
+            m.read(3)
+        with pytest.raises(ValueError):
+            m.write(5, 1)
+
+    def test_load_image_does_not_count_stats(self):
+        m = MainMemory()
+        m.load_image({0: 1, 8: 2})
+        assert m.reads == 0 and m.writes == 0
+        assert m.read(8) == 2
+
+    def test_initial_contents(self):
+        m = MainMemory({16: 7})
+        assert m.read(16) == 7
+        assert 16 in m
+
+
+class TestCache:
+    def cfg(self, size=1024, assoc=2, block=64, lat=3):
+        return CacheConfig(size, assoc, block, lat)
+
+    def test_miss_then_hit(self):
+        c = Cache("t", self.cfg(), mem_latency=100)
+        lat1 = c.access(0x40, write=False)
+        lat2 = c.access(0x40, write=False)
+        assert lat1 == 3 + 100
+        assert lat2 == 3
+        assert c.stats.hits == 1 and c.stats.misses == 1
+
+    def test_same_block_hits(self):
+        c = Cache("t", self.cfg(), mem_latency=100)
+        c.access(0x40, write=False)
+        assert c.access(0x78, write=False) == 3  # same 64B block
+
+    def test_lru_eviction(self):
+        # 1KB, 2-way, 64B blocks -> 8 sets; set 0 holds blocks 0, 512...
+        c = Cache("t", self.cfg(), mem_latency=100)
+        c.access(0 * 512, write=False)
+        c.access(1 * 512, write=False)
+        c.access(2 * 512, write=False)   # evicts block at 0
+        assert not c.contains(0)
+        assert c.contains(512) and c.contains(1024)
+
+    def test_lru_order_updated_on_hit(self):
+        c = Cache("t", self.cfg(), mem_latency=100)
+        c.access(0, write=False)
+        c.access(512, write=False)
+        c.access(0, write=False)          # 0 becomes MRU
+        c.access(1024, write=False)       # evicts 512
+        assert c.contains(0) and not c.contains(512)
+
+    def test_dirty_eviction_writes_back(self):
+        l2 = Cache("l2", self.cfg(size=4096, assoc=4), mem_latency=100)
+        l1 = Cache("l1", self.cfg(), next_level=l2)
+        l1.access(0, write=True)
+        l1.access(512, write=False)
+        l1.access(1024, write=False)      # evicts dirty block 0
+        assert l1.stats.writebacks == 1
+        assert l2.stats.by_kind.get("writeback") == 1
+
+    def test_clean_eviction_no_writeback(self):
+        c = Cache("t", self.cfg(), mem_latency=100)
+        c.access(0, write=False)
+        c.access(512, write=False)
+        c.access(1024, write=False)
+        assert c.stats.writebacks == 0
+
+    def test_access_kinds_counted(self):
+        c = Cache("t", self.cfg(), mem_latency=100)
+        c.access(0, write=False, kind="load")
+        c.access(64, write=True, kind="spill")
+        assert c.stats.by_kind == {"load": 1, "spill": 1}
+
+    def test_install_is_silent_and_clean(self):
+        c = Cache("t", self.cfg(), mem_latency=100)
+        c.install(0x40)
+        assert c.contains(0x40)
+        assert c.stats.accesses == 0
+        assert c.access(0x40, write=False) == 3  # warm hit
+
+    def test_flush(self):
+        c = Cache("t", self.cfg(), mem_latency=100)
+        c.access(0, write=False)
+        c.flush()
+        assert not c.contains(0)
+
+    def test_geometry_validation(self):
+        with pytest.raises(ValueError):
+            CacheConfig(1000, 3, 64, 1)  # not a multiple
+        with pytest.raises(ValueError):
+            Cache("t", CacheConfig(64 * 3, 1, 64, 1))  # 3 sets
+
+
+class TestPortArbiter:
+    def test_grants_up_to_limit(self):
+        p = PortArbiter(2)
+        assert p.try_acquire() and p.try_acquire()
+        assert not p.try_acquire()
+        assert p.rejections == 1
+
+    def test_begin_cycle_resets(self):
+        p = PortArbiter(1)
+        p.try_acquire()
+        p.begin_cycle()
+        assert p.try_acquire()
+
+    def test_free_count(self):
+        p = PortArbiter(3)
+        p.try_acquire()
+        assert p.free == 2
+
+    def test_zero_ports_rejected(self):
+        with pytest.raises(ValueError):
+            PortArbiter(0)
+
+
+class TestHierarchy:
+    def test_levels_wired(self):
+        h = MemoryHierarchy(MachineConfig.baseline())
+        lat = h.dl1_access(0x100, write=False, kind="load")
+        # DL1 miss -> L2 miss -> memory: 3 + 15 + 250.
+        assert lat == 3 + 15 + 250
+        assert h.dl1_access(0x100, write=False, kind="load") == 3
+
+    def test_warm_pre_installs_both_levels(self):
+        h = MemoryHierarchy(MachineConfig.baseline())
+        h.warm(0x0, 0x200)
+        assert h.dl1_access(0x0, write=False, kind="load") == 3
+        assert h.l2.stats.accesses == 0
+
+    def test_data_and_timing_are_separate(self):
+        h = MemoryHierarchy(MachineConfig.baseline())
+        h.write_word(0x40, 5)
+        assert h.read_word(0x40) == 5
+        assert h.dl1.stats.accesses == 0  # data path counts nothing
+
+    def test_access_breakdown(self):
+        h = MemoryHierarchy(MachineConfig.baseline())
+        h.dl1_access(0, write=False, kind="load")
+        h.dl1_access(8, write=True, kind="store")
+        assert h.access_breakdown() == {"load": 1, "store": 1}
+        assert h.data_cache_accesses == 2

@@ -1,0 +1,140 @@
+"""End-to-end smoke tests: every machine model runs small programs to
+completion and produces the same architectural results as the
+functional interpreter."""
+
+import pytest
+
+from repro.asm import ProgramBuilder
+from repro.config import MachineConfig
+from repro.functional import FunctionalSim
+from repro.models import MODELS, build_machine, model_abi
+
+pytestmark = pytest.mark.filterwarnings("ignore")
+
+ALL_MODELS = sorted(MODELS)
+
+
+def loop_sum_builder():
+    """Straight-line loop: sum 0..99 into memory."""
+    pb = ProgramBuilder()
+    out = pb.alloc(1)
+    m = pb.function("main", is_main=True)
+    m.li(1, 100)
+    m.li(2, 0)
+    m.li(3, 0)
+    m.label("top")
+    m.add(2, 2, 3)
+    m.addi(3, 3, 1)
+    m.sub(4, 3, 1)
+    m.bne(4, "top")
+    m.li(5, out)
+    m.st(2, 5, 0)
+    m.halt()
+    return pb, out
+
+
+def fib_builder(n=10):
+    pb = ProgramBuilder()
+    out = pb.alloc(1)
+    main = pb.function("main", is_main=True)
+    main.li(0, n)
+    main.call("fib")
+    main.li(1, out)
+    main.st(0, 1, 0)
+    main.halt()
+    fib = pb.function("fib")
+    fib.cmplti(1, 0, 2)
+    fib.bne(1, "base")
+    fib.mov(8, 0)
+    fib.subi(0, 8, 1)
+    fib.call("fib")
+    fib.mov(9, 0)
+    fib.subi(0, 8, 2)
+    fib.call("fib")
+    fib.add(0, 9, 0)
+    fib.ret()
+    fib.label("base")
+    fib.ret()
+    return pb, out
+
+
+def run_model(model, builder_fn, phys_regs=256, **cfg_kw):
+    pb, out = builder_fn()
+    prog = pb.assemble(model_abi(model))
+    golden = FunctionalSim(pb.assemble(model_abi(model)))
+    golden.run()
+    cfg = MachineConfig.baseline(phys_regs=phys_regs, **cfg_kw)
+    machine = build_machine(model, cfg, [prog])
+    stats = machine.run()
+    return machine, stats, golden, out
+
+
+class TestLoopProgram:
+    @pytest.mark.parametrize("model", ALL_MODELS)
+    def test_checksum_matches_functional(self, model):
+        machine, stats, golden, out = run_model(model, loop_sum_builder)
+        assert machine.hierarchy.read_word(out) == golden.read_mem(out) == 4950
+
+    @pytest.mark.parametrize("model", ALL_MODELS)
+    def test_committed_instructions_match_path_length(self, model):
+        machine, stats, golden, out = run_model(model, loop_sum_builder)
+        assert stats.committed == golden.stats.instructions
+
+    @pytest.mark.parametrize("model", ALL_MODELS)
+    def test_ipc_is_sane(self, model):
+        machine, stats, _, _ = run_model(model, loop_sum_builder)
+        assert 0.1 < stats.ipc <= 4.0
+
+
+class TestRecursiveProgram:
+    @pytest.mark.parametrize("model", ALL_MODELS)
+    def test_fib_checksum(self, model):
+        machine, stats, golden, out = run_model(model, fib_builder)
+        assert machine.hierarchy.read_word(out) == golden.read_mem(out) == 55
+
+    def test_vca_rw_spills_appear_under_pressure(self):
+        """Deep recursion with fat frames exceeds 64 physical
+        registers, forcing VCA to spill and fill on demand."""
+        def fat_recursion():
+            pb = ProgramBuilder()
+            out = pb.alloc(1)
+            main = pb.function("main", is_main=True)
+            main.li(0, 24)
+            main.call("rec")
+            main.li(1, out)
+            main.st(0, 1, 0)
+            main.halt()
+            rec = pb.function("rec")
+            locals_ = list(range(8, 20))  # 12 windowed locals per frame
+            rec.cmplti(1, 0, 1)
+            rec.bne(1, "base")
+            for i, r in enumerate(locals_):
+                rec.addi(r, 0, i)
+            rec.subi(0, 0, 1)
+            rec.call("rec")
+            for r in locals_:
+                rec.add(0, 0, r)  # touch every local after the return
+            rec.ret()
+            rec.label("base")
+            rec.li(0, 1)
+            rec.ret()
+            return pb, out
+        machine, stats, golden, out = run_model(
+            "vca-rw", fat_recursion, phys_regs=64)
+        assert machine.hierarchy.read_word(out) == golden.read_mem(out)
+        assert stats.fills > 0
+        assert stats.spills > 0
+
+    def test_conventional_rw_traps_on_deep_recursion(self):
+        machine, stats, _, _ = run_model(
+            "conventional-rw", lambda: fib_builder(13), phys_regs=128)
+        # 128 physical registers fit a single window: recursion must
+        # overflow and underflow repeatedly.
+        assert stats.window_overflows > 0
+        assert stats.window_underflows > 0
+
+    def test_ideal_rw_generates_no_dl1_traffic_for_windows(self):
+        machine, stats, _, _ = run_model(
+            "ideal-rw", lambda: fib_builder(13), phys_regs=64)
+        breakdown = machine.hierarchy.access_breakdown()
+        assert "spill" not in breakdown and "fill" not in breakdown

@@ -1,0 +1,207 @@
+"""Property-based tests (hypothesis) on core data structures and
+whole-machine invariants."""
+
+import random
+
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.asm import ProgramBuilder
+from repro.config import MachineConfig
+from repro.functional import MASK64, FunctionalSim, to_signed
+from repro.isa import Instruction, Op
+from repro.mem import Cache, PortArbiter
+from repro.config import CacheConfig
+from repro.frontend import ReturnAddressStack
+from repro.mem.hierarchy import MemoryHierarchy
+from repro.models import build_engine
+from repro.pipeline.alu import execute
+from repro.pipeline.dyninst import DynInst
+from repro.rename.regfile import PhysRegFile
+from repro.rename.rsid import RsidTable
+
+u64 = st.integers(min_value=0, max_value=MASK64)
+small = st.integers(min_value=0, max_value=1 << 20)
+
+
+class TestAluVsFunctional:
+    """The two independent execution implementations must agree."""
+
+    RR_OPS = [Op.ADD, Op.SUB, Op.MUL, Op.AND, Op.OR, Op.XOR, Op.SLL,
+              Op.SRL, Op.CMPEQ, Op.CMPLT, Op.CMPLE]
+
+    @given(op=st.sampled_from(RR_OPS), a=u64, b=u64)
+    @settings(max_examples=200)
+    def test_int_rr_semantics_match(self, op, a, b):
+        ins = Instruction(op, rd=1, rs1=2, rs2=3)
+        res = execute(ins, a, b, pc=0).result
+
+        pb = ProgramBuilder()
+        m = pb.function("main", is_main=True)
+        m.li(2, a)
+        m.li(3, b)
+        m.emit(op, 1, 2, 3)
+        m.halt()
+        sim = FunctionalSim(pb.assemble("flat"))
+        sim.run()
+        assert sim.read_reg(1) == res
+
+    @given(a=u64)
+    def test_to_signed_roundtrip(self, a):
+        assert to_signed(a) & MASK64 == a
+
+    @given(a=u64, imm=st.integers(min_value=0, max_value=1 << 15))
+    def test_addi_subi_inverse(self, a, imm):
+        add = execute(Instruction(Op.ADDI, rd=1, rs1=2, imm=imm),
+                      a, 0, 0).result
+        back = execute(Instruction(Op.SUBI, rd=1, rs1=2, imm=imm),
+                       add, 0, 0).result
+        assert back == a
+
+
+class TestCacheProperties:
+    @given(addrs=st.lists(st.integers(min_value=0, max_value=1 << 16),
+                          min_size=1, max_size=200))
+    @settings(max_examples=50)
+    def test_accounting_consistent(self, addrs):
+        c = Cache("t", CacheConfig(1024, 2, 64, 1), mem_latency=10)
+        for a in addrs:
+            c.access(a & ~7, write=bool(a & 8))
+        assert c.stats.hits + c.stats.misses == c.stats.accesses
+        assert c.stats.accesses == len(addrs)
+
+    @given(addrs=st.lists(st.integers(min_value=0, max_value=1 << 14),
+                          min_size=1, max_size=100))
+    @settings(max_examples=50)
+    def test_second_access_always_hits(self, addrs):
+        c = Cache("t", CacheConfig(1 << 15, 4, 64, 1), mem_latency=10)
+        # Cache is larger than the address range: after a first touch,
+        # nothing is ever evicted.
+        for a in addrs:
+            c.access(a & ~7, write=False)
+        before = c.stats.misses
+        for a in addrs:
+            c.access(a & ~7, write=False)
+        assert c.stats.misses == before
+
+
+class TestRegfileProperties:
+    @given(ops=st.lists(st.sampled_from(["alloc", "free", "pin",
+                                         "unpin"]),
+                        min_size=1, max_size=300))
+    @settings(max_examples=100)
+    def test_free_list_never_corrupts(self, ops):
+        rf = PhysRegFile(8)
+        live = []
+        pinned = []
+        for op in ops:
+            if op == "alloc":
+                p = rf.alloc()
+                if p is not None:
+                    live.append(p)
+            elif op == "free":
+                frees = [p for p in live if not p.pinned]
+                if frees:
+                    live.remove(frees[-1])
+                    rf.free(frees[-1])
+            elif op == "pin" and live:
+                p = live[0]
+                p.refcount += 1
+                pinned.append(p)
+            elif op == "unpin" and pinned:
+                rf.unpin(pinned.pop())
+            rf.check_invariants()
+        assert rf.n_free + rf.n_in_use == 8
+
+
+class TestRsidProperties:
+    @given(uppers=st.lists(st.integers(min_value=0, max_value=50),
+                           min_size=1, max_size=200))
+    @settings(max_examples=50)
+    def test_translation_is_a_partial_bijection(self, uppers):
+        r = RsidTable(8, 16)
+        for u in uppers:
+            rsid = r.lookup(u)
+            if rsid is None:
+                if not r.has_free:
+                    r.evict(r.lru_victim())
+                rsid = r.install(u)
+            assert r.lookup(u) == rsid
+        # No two live uppers share an RSID.
+        live = [x for x in r._upper_of if x is not None]
+        assert len(live) == len(set(live))
+
+
+class TestRasProperties:
+    @given(depth=st.integers(min_value=2, max_value=16),
+           pushes=st.lists(small, min_size=1, max_size=12))
+    def test_lifo_within_capacity(self, depth, pushes):
+        ras = ReturnAddressStack(depth)
+        kept = pushes[-depth:]
+        for a in pushes:
+            ras.push(a)
+        for a in reversed(kept):
+            assert ras.pop() == a
+
+
+class TestPortProperties:
+    @given(n=st.integers(min_value=1, max_value=8),
+           tries=st.integers(min_value=0, max_value=20))
+    def test_grants_bounded_by_ports(self, n, tries):
+        p = PortArbiter(n)
+        granted = sum(p.try_acquire() for _ in range(tries))
+        assert granted == min(n, tries)
+
+
+class TestVcaEngineProperties:
+    """Random rename/commit/squash interleavings preserve the register
+    file's structural invariants and the committed architectural
+    state's recoverability."""
+
+    @given(seed=st.integers(min_value=0, max_value=10_000))
+    @settings(max_examples=40, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    def test_random_interleaving_keeps_invariants(self, seed):
+        rng = random.Random(seed)
+        cfg = MachineConfig.baseline(phys_regs=24, vca_protect_cycles=0)
+        h = MemoryHierarchy(cfg)
+        eng = build_engine("vca", cfg, h)
+
+        pb = ProgramBuilder()
+        m = pb.function("main", is_main=True)
+        m.halt()
+        eng.init_thread(0, pb.assemble("flat"))
+
+        in_flight = []
+        committed_values = {}
+        seq = 0
+        for step in range(120):
+            eng.begin_cycle()
+            action = rng.random()
+            if action < 0.5:
+                reg = rng.randrange(1, 12)
+                d = DynInst(seq, 0, 0,
+                            Instruction(Op.ADDI, rd=reg,
+                                        rs1=rng.randrange(1, 12),
+                                        imm=step))
+                seq += 1
+                if eng.try_rename(d):
+                    d.pdst.value = step
+                    d.pdst.ready = True
+                    in_flight.append(d)
+            elif action < 0.8 and in_flight:
+                d = in_flight.pop(0)          # oldest commits
+                eng.on_commit(d)
+                committed_values[d.instr.rd] = d.pdst.value
+            elif in_flight:
+                d = in_flight.pop()           # youngest squashes
+                eng.on_squash(d)
+            eng.regfile.check_invariants()
+            if eng.astq is not None:
+                eng.astq.tick(step + 400, lambda r: None)
+
+        # Drain: commit everything left, then check committed state.
+        for d in in_flight:
+            eng.on_commit(d)
+            committed_values[d.instr.rd] = d.pdst.value
+        for reg, value in committed_values.items():
+            assert eng.arch_value(0, reg) == value

@@ -1,0 +1,129 @@
+"""Unit tests for the physical-register state machine (Figure 2)."""
+
+import pytest
+
+from repro.rename.regfile import PhysRegFile
+
+
+class TestAllocFree:
+    def test_all_free_at_reset(self):
+        rf = PhysRegFile(8)
+        assert rf.n_free == 8 and rf.n_in_use == 0
+
+    def test_alloc_until_exhausted(self):
+        rf = PhysRegFile(2)
+        assert rf.alloc() is not None
+        assert rf.alloc() is not None
+        assert rf.alloc() is None
+
+    def test_free_returns_register(self):
+        rf = PhysRegFile(1)
+        p = rf.alloc()
+        rf.free(p)
+        assert rf.alloc() is p
+
+    def test_double_free_rejected(self):
+        rf = PhysRegFile(2)
+        p = rf.alloc()
+        rf.free(p)
+        with pytest.raises(RuntimeError, match="double free"):
+            rf.free(p)
+
+    def test_free_pinned_rejected(self):
+        rf = PhysRegFile(1)
+        p = rf.alloc()
+        p.refcount = 1
+        with pytest.raises(RuntimeError, match="pinned"):
+            rf.free(p)
+
+    def test_free_mapped_rejected(self):
+        rf = PhysRegFile(1)
+        p = rf.alloc()
+        p.in_table = True
+        with pytest.raises(RuntimeError, match="mapped"):
+            rf.free(p)
+
+    def test_unfree_rolls_back_alloc(self):
+        rf = PhysRegFile(1)
+        p = rf.alloc()
+        rf.unfree(p)
+        assert rf.n_free == 1
+        with pytest.raises(RuntimeError):
+            rf.unfree(p)
+
+    def test_max_in_use_tracked(self):
+        rf = PhysRegFile(4)
+        a, b = rf.alloc(), rf.alloc()
+        rf.free(a)
+        rf.free(b)
+        assert rf.max_in_use == 2
+
+
+class TestStateMachine:
+    def test_initial_state_is_free(self):
+        rf = PhysRegFile(1)
+        assert rf.regs[0].state_name() == "free"
+
+    def test_dest_lifecycle(self):
+        """free -> PC̄ (pinned dest) -> PCD (committed) -> cached."""
+        rf = PhysRegFile(1)
+        p = rf.alloc()
+        p.refcount = 1
+        assert p.state_name() == "Pcd"
+        assert not p.cached
+        p.committed = True
+        p.dirty = True
+        rf.unpin(p)
+        assert p.state_name() == "pCD"
+        p.in_table = True
+        assert p.cached
+
+    def test_fill_lifecycle_is_clean(self):
+        """Fill results are committed but clean (PCD̄): replacement
+        never spills them."""
+        rf = PhysRegFile(1)
+        p = rf.alloc()
+        p.refcount = 1
+        p.committed = True
+        p.from_fill = True
+        assert not p.dirty
+
+    def test_unpin_frees_doomed(self):
+        rf = PhysRegFile(1)
+        p = rf.alloc()
+        p.refcount = 2
+        p.committed = True
+        p.doomed = True
+        assert not rf.unpin(p)      # still referenced
+        assert rf.unpin(p)          # last reference: freed
+        assert rf.n_free == 1
+
+    def test_unpin_underflow_rejected(self):
+        rf = PhysRegFile(1)
+        p = rf.alloc()
+        with pytest.raises(RuntimeError, match="underflow"):
+            rf.unpin(p)
+
+    def test_doomed_not_cached(self):
+        rf = PhysRegFile(1)
+        p = rf.alloc()
+        p.committed = True
+        p.doomed = True
+        p.in_table = True
+        assert not p.cached
+
+    def test_lru_touch_uses_clock(self):
+        rf = PhysRegFile(2)
+        rf.now = 5
+        a = rf.alloc()
+        rf.now = 9
+        rf.touch(a)
+        assert a.last_use == 9
+
+    def test_invariant_checker(self):
+        rf = PhysRegFile(4)
+        rf.alloc()
+        rf.check_invariants()
+        rf.regs[3].refcount = -1
+        with pytest.raises(AssertionError):
+            rf.check_invariants()

@@ -1,0 +1,109 @@
+"""Tests for the synthetic benchmark suite and its generator."""
+
+import pytest
+
+from repro.functional import FunctionalSim, measure_path_length
+from repro.workloads import (
+    ALL_BENCHMARKS, PROFILES, RW_BENCHMARKS, SMT_EXTRA_BENCHMARKS,
+    TABLE2_RATIOS, build_benchmark,
+)
+from repro.workloads.generator import benchmark_program
+
+
+class TestSuiteStructure:
+    def test_twenty_three_benchmarks(self):
+        """23 benchmarks -> 253 two-thread combinations (Section 3.2)."""
+        assert len(ALL_BENCHMARKS) == 23
+        n = len(ALL_BENCHMARKS)
+        assert n * (n - 1) // 2 == 253
+
+    def test_table2_suite_is_fifteen(self):
+        assert len(RW_BENCHMARKS) == 15
+        assert set(TABLE2_RATIOS) == set(RW_BENCHMARKS)
+
+    def test_smt_extras_are_call_sparse(self):
+        """Only benchmarks calling at least once every 500 instructions
+        are in the register-window suite (Section 3.1)."""
+        for name in SMT_EXTRA_BENCHMARKS:
+            assert PROFILES[name].call_interval > 500
+
+    def test_paper_average_ratio(self):
+        avg = sum(TABLE2_RATIOS.values()) / len(TABLE2_RATIOS)
+        assert abs(avg - 0.92) < 0.005
+
+
+class TestGenerator:
+    def test_deterministic(self):
+        a = build_benchmark("crafty").assemble("flat")
+        b = build_benchmark("crafty").assemble("flat")
+        assert len(a.code) == len(b.code)
+        assert all(x.op == y.op and x.imm == y.imm
+                   for x, y in zip(a.code, b.code))
+
+    def test_thread_variants_differ_only_in_layout(self):
+        a = build_benchmark("crafty", thread=0).assemble("flat")
+        b = build_benchmark("crafty", thread=1).assemble("flat")
+        assert len(a.code) == len(b.code)
+        assert a.data_base != b.data_base
+
+    def test_both_abis_compute_the_same_checksum(self):
+        for name in ("vortex_2", "equake", "mcf"):
+            pf = FunctionalSim(build_benchmark(name).assemble("flat"))
+            pf.run()
+            pw = FunctionalSim(build_benchmark(name).assemble("windowed"))
+            pw.run()
+            out_f = pf.program.data_base
+            out_w = pw.program.data_base
+            assert pf.read_mem(out_f) == pw.read_mem(out_w), name
+
+    def test_dynamic_length_near_target(self):
+        for name in ("gzip_graphic", "swim"):
+            stats = FunctionalSim(
+                build_benchmark(name).assemble("windowed")).run()
+            target = PROFILES[name].target_dynamic
+            assert 0.4 * target < stats.instructions < 2.5 * target
+
+    def test_scale_parameter(self):
+        full = FunctionalSim(
+            build_benchmark("gzip_graphic").assemble("flat")).run()
+        half = FunctionalSim(
+            build_benchmark("gzip_graphic",
+                            scale=0.5).assemble("flat")).run()
+        assert half.instructions < 0.75 * full.instructions
+
+    def test_recursive_benchmarks_go_deep(self):
+        stats = FunctionalSim(
+            build_benchmark("parser").assemble("windowed")).run()
+        assert stats.max_call_depth >= PROFILES["parser"].recursion
+
+    def test_fp_benchmarks_execute_fp(self):
+        stats = FunctionalSim(
+            build_benchmark("swim").assemble("flat")).run()
+        assert stats.fp_ops / stats.instructions > 0.1
+
+    def test_int_benchmark_has_no_fp(self):
+        stats = FunctionalSim(
+            build_benchmark("gzip_graphic").assemble("flat")).run()
+        assert stats.fp_ops == 0
+
+    def test_call_interval_tracks_profile(self):
+        for name in ("vortex_2", "twolf"):
+            stats = FunctionalSim(
+                build_benchmark(name).assemble("windowed")).run()
+            target = PROFILES[name].call_interval
+            assert 0.3 * target < stats.call_interval < 4 * target, name
+
+    def test_program_cache_returns_same_object(self):
+        a = benchmark_program("crafty", "flat")
+        b = benchmark_program("crafty", "flat")
+        assert a is b
+        c = benchmark_program("crafty", "windowed")
+        assert c is not a
+
+
+@pytest.mark.parametrize("name", RW_BENCHMARKS)
+def test_table2_row(name):
+    """Every Table 2 row reproduces within tolerance."""
+    r = measure_path_length(lambda: build_benchmark(name))
+    assert abs(r.ratio - TABLE2_RATIOS[name]) <= 0.02, (
+        f"{name}: {r.ratio:.3f} vs {TABLE2_RATIOS[name]}")
