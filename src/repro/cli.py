@@ -9,6 +9,8 @@ Commands mirror the paper's evaluation:
 * ``fig7`` / ``fig8`` — the SMT studies.
 * ``sec43`` — the 4-thread cache-traffic comparison.
 * ``disasm`` — disassemble a generated benchmark binary.
+* ``trace`` — render a JSONL event trace (from ``run --trace-out``)
+  as a per-instruction pipeline view.
 """
 
 from __future__ import annotations
@@ -19,7 +21,10 @@ from typing import List, Optional
 
 from repro.config import MachineConfig
 from repro.models import MODELS, build_machine, model_abi
-from repro.workloads import ALL_BENCHMARKS, RW_BENCHMARKS, TABLE2_RATIOS
+from repro.workloads import (
+    ALL_BENCHMARKS, DIAG_BENCHMARKS, PROFILES, RW_BENCHMARKS,
+    TABLE2_RATIOS,
+)
 
 
 def _cmd_list(args) -> int:
@@ -33,23 +38,65 @@ def _cmd_list(args) -> int:
     for name in ALL_BENCHMARKS:
         if name not in RW_BENCHMARKS:
             print(f"  {name}")
+    print("\ndiagnostic workloads (run/trace only, not in the "
+          "experiment pool):")
+    for name in DIAG_BENCHMARKS:
+        print(f"  {name}")
     return 0
 
 
 def _cmd_run(args) -> int:
+    from repro.obs import JsonlSink, MetricsRegistry, build_tracer
     from repro.workloads.generator import benchmark_program
 
-    benches = args.bench
+    benches = args.bench_pos or args.bench
     abi = model_abi(args.model)
-    programs = [benchmark_program(b, abi, thread=i, scale=args.scale)
+    programs = [benchmark_program(b, abi, thread=i, scale=args.scale,
+                                  seed=args.seed)
                 for i, b in enumerate(benches)]
     cfg = MachineConfig.baseline(phys_regs=args.regs,
                                  dl1_ports=args.ports)
-    machine = build_machine(args.model, cfg, programs)
+    tracer = build_tracer(trace=args.trace, out=args.trace_out)
+    metrics = (MetricsRegistry(args.metrics_interval)
+               if args.metrics_interval is not None else None)
+    machine = build_machine(args.model, cfg, programs,
+                            tracer=tracer, metrics=metrics)
     stats = machine.run(stop_at_first_halt=len(benches) > 1)
     print(f"model={args.model} regs={args.regs} ports={args.ports} "
-          f"benches={','.join(benches)}")
+          f"benches={','.join(benches)}"
+          + (f" seed={args.seed}" if args.seed is not None else ""))
     print(stats.summary())
+    tracer.close()
+    for sink in tracer.sinks:
+        if isinstance(sink, JsonlSink):
+            print(f"trace: wrote {sink.written} events to {sink.path}")
+    if args.json:
+        from repro.experiments.export import write_stats_json
+        out = write_stats_json(args.json, stats, model=args.model,
+                               benches=list(benches), regs=args.regs,
+                               ports=args.ports, scale=args.scale,
+                               seed=args.seed)
+        print(f"stats: wrote {out}")
+    return 0
+
+
+def _cmd_trace(args) -> int:
+    from repro.obs import read_jsonl
+    from repro.obs.pipeview import event_counts, render_pipeline_view
+
+    try:
+        events = list(read_jsonl(args.path))
+    except OSError as exc:
+        print(f"repro trace: cannot read {args.path}: {exc}",
+              file=sys.stderr)
+        return 2
+    if args.counts:
+        counts = event_counts(events)
+        width = max((len(k) for k in counts), default=4)
+        for kind in sorted(counts):
+            print(f"{kind:<{width}}  {counts[kind]}")
+        return 0
+    print(render_pipeline_view(events, tid=args.tid, limit=args.limit))
     return 0
 
 
@@ -145,6 +192,9 @@ def build_parser() -> argparse.ArgumentParser:
         .set_defaults(fn=_cmd_list)
 
     run = sub.add_parser("run", help="simulate one configuration")
+    run.add_argument("bench_pos", nargs="*", metavar="BENCH",
+                     help="benchmarks, one per hardware thread "
+                          "(same as --bench)")
     run.add_argument("--model", choices=sorted(MODELS), default="vca-rw")
     run.add_argument("--bench", nargs="+", default=["gzip_graphic"],
                      metavar="NAME",
@@ -152,6 +202,19 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--regs", type=int, default=256)
     run.add_argument("--ports", type=int, default=2)
     run.add_argument("--scale", type=float, default=1.0)
+    run.add_argument("--seed", type=int, default=None,
+                     help="perturb workload generation (default: the "
+                          "fixed per-benchmark streams)")
+    run.add_argument("--trace", action="store_true",
+                     help="record pipeline events (ring buffer)")
+    run.add_argument("--trace-out", metavar="PATH", default=None,
+                     help="write events as JSONL (implies --trace)")
+    run.add_argument("--metrics-interval", type=int, default=None,
+                     metavar="N",
+                     help="enable the metrics registry, snapshotting "
+                          "counters every N cycles (0: final only)")
+    run.add_argument("--json", metavar="PATH", default=None,
+                     help="also write full stats as JSON")
     run.set_defaults(fn=_cmd_run)
 
     for name, fn, with_bench in [
@@ -174,14 +237,29 @@ def build_parser() -> argparse.ArgumentParser:
                      default="windowed")
     dis.add_argument("--limit", type=int, default=60)
     dis.set_defaults(fn=_cmd_disasm)
+
+    tr = sub.add_parser("trace",
+                        help="render a JSONL trace as a pipeline view")
+    tr.add_argument("path", help="trace file from `run --trace-out`")
+    tr.add_argument("--tid", type=int, default=None,
+                    help="show only this hardware thread")
+    tr.add_argument("--limit", type=int, default=64,
+                    help="max instructions to show (default 64)")
+    tr.add_argument("--counts", action="store_true",
+                    help="print per-kind event totals instead")
+    tr.set_defaults(fn=_cmd_trace)
     return parser
 
 
 def main(argv: Optional[List[str]] = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
-    for bench in getattr(args, "bench", None) or []:
-        if bench not in ALL_BENCHMARKS:
+    benches = list(getattr(args, "bench_pos", None) or [])
+    benches += getattr(args, "bench", None) or []
+    for bench in benches:
+        # PROFILES (not ALL_BENCHMARKS) so the diagnostic workloads
+        # are runnable without joining the experiment pool.
+        if bench not in PROFILES:
             parser.error(f"unknown benchmark {bench!r}; "
                          f"see `python -m repro list`")
     return args.fn(args)

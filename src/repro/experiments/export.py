@@ -1,15 +1,52 @@
-"""CSV export of figure series, for external plotting.
+"""Export of experiment artifacts: figure CSVs and run-statistics JSON.
 
 ``python -m repro fig4 --csv out.csv`` writes the same data the text
 table shows, one row per (series, x) point — directly loadable by
-pandas/gnuplot/Excel.
+pandas/gnuplot/Excel.  ``python -m repro run ... --json out.json``
+writes the full :meth:`SimStats.to_dict` record, the single schema
+shared by benchmark artifacts, the experiment runner's cached results
+and the metrics registry.
 """
 
 from __future__ import annotations
 
 import csv
+import json
 from pathlib import Path
-from typing import Dict, Optional
+from typing import Dict, Optional, Tuple
+
+from repro.pipeline.stats import SimStats
+
+#: ``SimStats.to_dict`` keys the experiment runner's ``RunResult``
+#: shares verbatim — the one place the overlap is defined, so run
+#: artifacts and the stats schema cannot drift apart.
+RUN_STAT_KEYS: Tuple[str, ...] = (
+    "cycles", "dl1_accesses", "dl1_breakdown", "dl1_miss_rate",
+    "l2_miss_rate", "mispredict_rate", "spills", "fills",
+    "window_overflows", "window_underflows", "rsid_flushes",
+)
+
+
+def run_stat_fields(stats: SimStats) -> Dict:
+    """The shared-key subset of one run's statistics."""
+    d = stats.to_dict()
+    return {k: d[k] for k in RUN_STAT_KEYS}
+
+
+def write_stats_json(path: str, stats: SimStats, **meta) -> Path:
+    """Write one run's full statistics record (plus ``meta`` labels
+    such as model/bench names) as JSON; returns the Path written."""
+    out = Path(path)
+    payload = {**meta, "stats": stats.to_dict()}
+    out.write_text(json.dumps(payload, indent=2, sort_keys=True))
+    return out
+
+
+def read_stats_json(path: str) -> Tuple[Dict, SimStats]:
+    """Inverse of :func:`write_stats_json`: (meta, SimStats)."""
+    payload = json.loads(Path(path).read_text())
+    stats = SimStats.from_dict(payload.pop("stats"))
+    return payload, stats
 
 
 def write_series_csv(path: str, x_name: str,

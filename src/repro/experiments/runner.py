@@ -142,25 +142,21 @@ def run_point(model: str, benches: Sequence[str], phys_regs: int,
         return result
 
     stats = machine.run(stop_at_first_halt=len(benches) > 1)
+    from repro.experiments.export import run_stat_fields
     from repro.workloads.clustering import benchmark_vector
     vector = tuple(float(v) for v in benchmark_vector(stats)) \
         if len(benches) == 1 else ()
+    # Scalar stats come from the shared SimStats.to_dict schema
+    # (export.RUN_STAT_KEYS) rather than per-field plucking, so run
+    # artifacts and stats exports cannot diverge.
     result = RunResult(
         model=model, benches=benches, phys_regs=phys_regs,
-        dl1_ports=dl1_ports, scale=scale, cycles=stats.cycles,
+        dl1_ports=dl1_ports, scale=scale,
         committed=tuple(t.committed for t in stats.threads),
         thread_ipcs=tuple(stats.thread_ipc(i)
                           for i in range(len(benches))),
-        dl1_accesses=stats.dl1_accesses,
-        dl1_breakdown=stats.dl1_breakdown,
-        dl1_miss_rate=stats.dl1_miss_rate,
-        l2_miss_rate=stats.l2_miss_rate,
-        mispredict_rate=stats.mispredict_rate,
-        spills=stats.spills, fills=stats.fills,
-        window_overflows=stats.window_overflows,
-        window_underflows=stats.window_underflows,
-        rsid_flushes=stats.rsid_flushes,
-        stats_vector=vector)
+        stats_vector=vector,
+        **run_stat_fields(stats))
     if use_cache:
         _cache_store(key, asdict(result))
     return result

@@ -26,6 +26,9 @@ class CacheStats:
     #: Accesses broken down by requester kind ("load", "store",
     #: "spill", "fill", "wtrap" for conventional window traps).
     by_kind: Dict[str, int] = field(default_factory=dict)
+    #: Misses broken down the same way: which traffic class pays the
+    #: miss penalty (spill/fill misses are VCA's overhead traffic).
+    miss_by_kind: Dict[str, int] = field(default_factory=dict)
 
     @property
     def miss_rate(self) -> float:
@@ -33,6 +36,9 @@ class CacheStats:
 
     def count(self, kind: str) -> None:
         self.by_kind[kind] = self.by_kind.get(kind, 0) + 1
+
+    def count_miss(self, kind: str) -> None:
+        self.miss_by_kind[kind] = self.miss_by_kind.get(kind, 0) + 1
 
 
 class Cache:
@@ -83,6 +89,7 @@ class Cache:
                 return self.cfg.hit_latency
         # Miss: fetch from below (write-allocate).
         self.stats.misses += 1
+        self.stats.count_miss(kind)
         below = (self.next_level.access(addr, write=False, kind=kind)
                  if self.next_level is not None else self.mem_latency)
         if len(ways) >= self.cfg.assoc:

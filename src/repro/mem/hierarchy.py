@@ -2,7 +2,10 @@
 
 from __future__ import annotations
 
+from typing import Callable
+
 from repro.config import MachineConfig
+from repro.obs import NULL_TRACER
 
 from .cache import Cache
 from .memory import MainMemory
@@ -25,8 +28,30 @@ class MemoryHierarchy:
         self.dl1 = Cache("dl1", cfg.dl1, next_level=self.l2)
         self.il1 = Cache("il1", cfg.il1, next_level=self.l2)
         self.dl1_ports = PortArbiter(cfg.dl1_ports)
+        #: Observability hooks; inert until :meth:`attach_obs`.
+        self.trace = NULL_TRACER
+        self.metrics = None
+        self.clock: Callable[[], int] = lambda: 0
+        self._traced_rejections = 0
+
+    def attach_obs(self, tracer, metrics,
+                   clock: Callable[[], int]) -> None:
+        """Wire the tracer/metrics registry and a cycle source in."""
+        self.trace = tracer
+        self.metrics = metrics
+        self.clock = clock
 
     def begin_cycle(self) -> None:
+        tr = self.trace
+        if tr.enabled:
+            # One aggregate port-contention event per conflicted cycle
+            # (emitted at the start of the next, when the count is
+            # final) keeps trace volume proportional to contention.
+            rej = self.dl1_ports.rejections
+            if rej != self._traced_rejections:
+                tr.emit(self.clock(), -1, "port_conflict",
+                        n=rej - self._traced_rejections)
+                self._traced_rejections = rej
         self.dl1_ports.begin_cycle()
 
     def warm(self, lo: int, hi: int) -> None:
@@ -43,7 +68,13 @@ class MemoryHierarchy:
 
         The caller must already hold a DL1 port for this cycle.
         """
-        return self.dl1.access(addr, write=write, kind=kind)
+        latency = self.dl1.access(addr, write=write, kind=kind)
+        tr = self.trace
+        if tr.enabled:
+            tr.emit(self.clock(), -1, "dl1", addr=addr, op=kind,
+                    write=write, hit=latency == self.dl1.cfg.hit_latency,
+                    latency=latency)
+        return latency
 
     # -- data ---------------------------------------------------------------
     def read_word(self, addr: int) -> float:

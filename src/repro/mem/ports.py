@@ -21,9 +21,14 @@ class PortArbiter:
         self._used = 0
         self.grants = 0
         self.rejections = 0
+        #: Cycles in which at least one request was turned away — the
+        #: port-contention metric the observability layer reports.
+        self.conflict_cycles = 0
+        self._rejected_this_cycle = False
 
     def begin_cycle(self) -> None:
         self._used = 0
+        self._rejected_this_cycle = False
 
     @property
     def free(self) -> int:
@@ -37,4 +42,7 @@ class PortArbiter:
             self.grants += 1
             return True
         self.rejections += 1
+        if not self._rejected_this_cycle:
+            self._rejected_this_cycle = True
+            self.conflict_cycles += 1
         return False

@@ -62,11 +62,14 @@ def build_engine(model: str, cfg: MachineConfig,
 
 
 def build_machine(model: str, cfg: MachineConfig,
-                  programs: Sequence[Program]) -> Pipeline:
+                  programs: Sequence[Program],
+                  tracer=None, metrics=None) -> Pipeline:
     """A ready-to-run pipeline for ``model`` and ``programs``.
 
     Every program's ABI must match the model; the config's
     rename/window model fields are normalised to the model chosen.
+    ``tracer``/``metrics`` (see :mod:`repro.obs`) attach observability
+    to the whole machine; both default to off.
     """
     rename_model, window_model, abi = MODELS[model]
     cfg = cfg.with_(rename_model=rename_model, window_model=window_model,
@@ -78,4 +81,5 @@ def build_machine(model: str, cfg: MachineConfig,
                 f"{p.abi!r} for {p.name or 'program'}")
     hierarchy = MemoryHierarchy(cfg)
     engine = build_engine(model, cfg, hierarchy)
-    return Pipeline(cfg, list(programs), engine, hierarchy)
+    return Pipeline(cfg, list(programs), engine, hierarchy,
+                    tracer=tracer, metrics=metrics)

@@ -1,0 +1,21 @@
+"""Observability: pipeline event tracing and structured metrics.
+
+The simulator's hot layers carry lightweight instrumentation hooks
+that are inert by default (``NULL_TRACER`` / no registry) and activate
+when a run is built with a live :class:`Tracer` or
+:class:`MetricsRegistry` — see ``docs/observability.md`` for the event
+schema and usage.
+"""
+
+from .metrics import Histogram, MetricsRegistry
+from .pipeview import render_pipeline_view
+from .trace import (
+    JsonlSink, NULL_TRACER, RingBufferSink, Tracer, build_tracer,
+    read_jsonl,
+)
+
+__all__ = [
+    "Histogram", "MetricsRegistry", "render_pipeline_view",
+    "JsonlSink", "NULL_TRACER", "RingBufferSink", "Tracer",
+    "build_tracer", "read_jsonl",
+]

@@ -1,0 +1,148 @@
+"""Structured metrics: named counters, distributions, interval dumps.
+
+A :class:`MetricsRegistry` is the hierarchical stats container the
+timing model reports into (the role of gem5's stats registry): flat
+named scalar counters (``registry.inc("rename.tag_miss")``),
+:class:`Histogram` distributions for quantities whose *shape* matters
+(spill burst length, fill latency, IQ/ROB occupancy, rename-stall run
+lengths), and cumulative counter snapshots every ``interval`` cycles —
+the per-interval dumps needed to check that a sampled region is
+representative of the whole run.
+
+Like tracing, metrics are opt-in: instrumented code holds ``metrics``
+as ``None`` by default and guards each record with ``if m is not
+None``, so an un-instrumented run pays only that check.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+
+class Histogram:
+    """Streaming distribution with exact moments and bounded samples.
+
+    ``count``/``total``/``min``/``max`` are exact.  Percentiles come
+    from a deterministically decimated sample reservoir: when the
+    sample list reaches ``max_samples`` it is thinned to every second
+    element and the keep-stride doubles, so memory stays bounded while
+    samples remain spread uniformly over the whole run (no randomness,
+    so runs are reproducible).
+    """
+
+    __slots__ = ("name", "count", "total", "min", "max",
+                 "_samples", "_stride", "_tick", "_cap")
+
+    def __init__(self, name: str, max_samples: int = 4096) -> None:
+        if max_samples < 2:
+            raise ValueError("need at least two samples for percentiles")
+        self.name = name
+        self.count = 0
+        self.total = 0.0
+        self.min: Optional[float] = None
+        self.max: Optional[float] = None
+        self._samples: List[float] = []
+        self._stride = 1
+        self._tick = 0
+        self._cap = max_samples
+
+    def record(self, value: float) -> None:
+        self.count += 1
+        self.total += value
+        if self.min is None or value < self.min:
+            self.min = value
+        if self.max is None or value > self.max:
+            self.max = value
+        self._tick += 1
+        if self._tick >= self._stride:
+            self._tick = 0
+            self._samples.append(value)
+            if len(self._samples) >= self._cap:
+                self._samples = self._samples[::2]
+                self._stride *= 2
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def percentile(self, p: float) -> float:
+        """Linear-interpolated percentile ``p`` in [0, 100]."""
+        if not 0 <= p <= 100:
+            raise ValueError("percentile must be in [0, 100]")
+        if not self._samples:
+            return 0.0
+        xs = sorted(self._samples)
+        if len(xs) == 1:
+            return xs[0]
+        pos = (p / 100) * (len(xs) - 1)
+        lo = int(pos)
+        hi = min(lo + 1, len(xs) - 1)
+        frac = pos - lo
+        return xs[lo] * (1 - frac) + xs[hi] * frac
+
+    def to_dict(self) -> Dict:
+        return {
+            "count": self.count,
+            "mean": self.mean,
+            "min": self.min,
+            "max": self.max,
+            "p50": self.percentile(50),
+            "p90": self.percentile(90),
+            "p99": self.percentile(99),
+        }
+
+
+class MetricsRegistry:
+    """Named counters + distributions + periodic counter snapshots."""
+
+    def __init__(self, snapshot_interval: int = 0) -> None:
+        self.counters: Dict[str, float] = {}
+        self.dists: Dict[str, Histogram] = {}
+        #: Cycles between cumulative snapshots; 0 disables them.
+        self.snapshot_interval = snapshot_interval
+        self.snapshots: List[Dict] = []
+        self._next_snapshot = snapshot_interval
+
+    # -- counters ----------------------------------------------------------
+    def inc(self, name: str, n: float = 1) -> None:
+        self.counters[name] = self.counters.get(name, 0) + n
+
+    def set(self, name: str, value: float) -> None:
+        self.counters[name] = value
+
+    def get(self, name: str) -> float:
+        return self.counters.get(name, 0)
+
+    # -- distributions ------------------------------------------------------
+    def dist(self, name: str) -> Histogram:
+        h = self.dists.get(name)
+        if h is None:
+            h = self.dists[name] = Histogram(name)
+        return h
+
+    # -- interval snapshots ---------------------------------------------------
+    def tick(self, cycle: int, **extras) -> None:
+        """Take a cumulative counter snapshot if ``cycle`` is due.
+
+        ``extras`` lets the caller attach headline values (committed
+        instruction count etc.) that live outside the registry.
+        """
+        if not self.snapshot_interval or cycle < self._next_snapshot:
+            return
+        self._next_snapshot = cycle + self.snapshot_interval
+        self.snapshot(cycle, **extras)
+
+    def snapshot(self, cycle: int, **extras) -> None:
+        """Take a cumulative counter snapshot unconditionally."""
+        snap = {"cycle": cycle, "counters": dict(self.counters)}
+        if extras:
+            snap.update(extras)
+        self.snapshots.append(snap)
+
+    # -- export ------------------------------------------------------------
+    def to_dict(self) -> Dict:
+        return {
+            "counters": dict(self.counters),
+            "dists": {n: h.to_dict() for n, h in self.dists.items()},
+            "snapshots": list(self.snapshots),
+        }

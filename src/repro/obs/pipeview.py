@@ -1,0 +1,117 @@
+"""Render a trace as a per-instruction pipeline view.
+
+Turns the per-instruction lifecycle events of a trace (``fetch`` /
+``rename`` / ``issue`` / ``writeback`` / ``commit`` / ``squash``) into
+the human-readable text format of gem5's O3 pipeline viewer: one row
+per dynamic instruction with its stage timestamps and an ASCII
+timeline lane::
+
+      seq  t     pc  asm                    F     R     I     W     C  timeline
+        7  0      3  ld r8, 0(r1)           4     9    11    14    16  [f....r.i..w.c]
+
+Squashed instructions show an ``x`` at the squash cycle and ``-`` for
+stages they never reached.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional
+
+#: Lifecycle kinds, in stage order, with their lane letters.
+_STAGES = (("fetch", "f"), ("rename", "r"), ("issue", "i"),
+           ("writeback", "w"), ("commit", "c"), ("squash", "x"))
+_LIFECYCLE = {k for k, _ in _STAGES}
+
+_LANE_WIDTH = 40
+
+
+class _Row:
+    __slots__ = ("seq", "tid", "pc", "asm", "stamps")
+
+    def __init__(self, seq: int, tid: int) -> None:
+        self.seq = seq
+        self.tid = tid
+        self.pc: Optional[int] = None
+        self.asm = ""
+        self.stamps: Dict[str, int] = {}
+
+
+def collect_rows(events: Iterable[Dict]) -> List[_Row]:
+    """Fold lifecycle events into per-instruction rows, fetch order."""
+    rows: Dict[int, _Row] = {}
+    for ev in events:
+        kind = ev.get("kind")
+        if kind not in _LIFECYCLE or "seq" not in ev:
+            continue
+        seq = ev["seq"]
+        row = rows.get(seq)
+        if row is None:
+            row = rows[seq] = _Row(seq, ev.get("tid", -1))
+        # Keep the first timestamp per stage (replays re-emit nothing,
+        # but a retried commit would otherwise clobber the record).
+        row.stamps.setdefault(kind, ev["cycle"])
+        if kind == "fetch":
+            row.pc = ev.get("pc")
+            row.asm = ev.get("asm", "")
+    return [rows[s] for s in sorted(rows)]
+
+
+def _lane(stamps: Dict[str, int]) -> str:
+    cycles = [c for c in stamps.values()]
+    if not cycles:
+        return ""
+    first, last = min(cycles), max(cycles)
+    span = last - first + 1
+    width = min(span, _LANE_WIDTH)
+    cells = ["."] * width
+    scale = (width - 1) / (span - 1) if span > 1 else 0
+    for kind, letter in _STAGES:
+        if kind not in stamps:
+            continue
+        pos = round((stamps[kind] - first) * scale)
+        # Collisions shift right so every reached stage stays visible.
+        while pos < width and cells[pos] != ".":
+            pos += 1
+        if pos < width:
+            cells[pos] = letter
+    return "[" + "".join(cells) + "]"
+
+
+def render_pipeline_view(events: Iterable[Dict],
+                         tid: Optional[int] = None,
+                         limit: Optional[int] = None) -> str:
+    """The pipeline-view text for ``events``; empty-trace safe."""
+    rows = collect_rows(events)
+    if tid is not None:
+        rows = [r for r in rows if r.tid == tid]
+    total = len(rows)
+    if limit is not None and total > limit:
+        rows = rows[:limit]
+    if not rows:
+        return "(no instruction lifecycle events in trace)"
+    asm_w = max(12, min(28, max(len(r.asm) for r in rows)))
+    header = (f"{'seq':>7} {'t':>2} {'pc':>6}  {'asm':<{asm_w}}"
+              f"{'F':>7}{'R':>7}{'I':>7}{'W':>7}{'C':>7}  timeline")
+    lines = [header]
+    for r in rows:
+        cols = ""
+        for kind, _ in _STAGES[:5]:
+            c = r.stamps.get(kind)
+            cols += f"{c if c is not None else '-':>7}"
+        pc = r.pc if r.pc is not None else "-"
+        mark = " x" if "squash" in r.stamps else ""
+        lines.append(f"{r.seq:>7} {r.tid:>2} {pc:>6}  "
+                     f"{r.asm[:asm_w]:<{asm_w}}{cols}  "
+                     f"{_lane(r.stamps)}{mark}")
+    if total > len(rows):
+        lines.append(f"... ({total - len(rows)} more instructions)")
+    return "\n".join(lines)
+
+
+def event_counts(events: Iterable[Dict]) -> Dict[str, int]:
+    """Per-kind event totals (the reconciliation view)."""
+    counts: Dict[str, int] = {}
+    for ev in events:
+        k = ev.get("kind", "?")
+        counts[k] = counts.get(k, 0) + 1
+    return counts

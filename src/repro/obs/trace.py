@@ -1,0 +1,145 @@
+"""Pipeline event tracer with pluggable sinks.
+
+The tracer is the simulator's exec-trace facility, modelled on gem5's
+O3 trace: instrumented code emits timestamped events
+(``tracer.emit(cycle, tid, kind, **fields)``) and one or more sinks
+record them — an in-memory ring buffer for tests and post-mortem
+inspection, or a JSONL file for offline analysis and the
+``python -m repro trace`` pipeline view.
+
+Disabled tracing must cost nothing on the hot path, so every
+instrumentation site guards with the ``enabled`` attribute::
+
+    tr = self.trace
+    if tr.enabled:
+        tr.emit(cycle, tid, "spill", addr=addr, cause=cause)
+
+When ``enabled`` is False (the :data:`NULL_TRACER` default) the only
+cost is that attribute check; no event dict is ever built.
+
+Event schema: every event is a flat dict with at least ``cycle``
+(int), ``tid`` (int, -1 for machine-wide events) and ``kind`` (str);
+remaining keys are kind-specific (see ``docs/observability.md``).
+"""
+
+from __future__ import annotations
+
+import json
+from collections import deque
+from pathlib import Path
+from typing import Dict, Iterable, Iterator, List, Optional
+
+
+class TraceSink:
+    """Interface: receives event dicts; owns no event ordering logic."""
+
+    def write(self, event: Dict) -> None:  # pragma: no cover - interface
+        raise NotImplementedError
+
+    def close(self) -> None:
+        """Flush and release resources (idempotent)."""
+
+
+class RingBufferSink(TraceSink):
+    """Keeps the most recent ``capacity`` events in memory.
+
+    Older events are silently discarded (counted in :attr:`dropped`),
+    so a bounded buffer can watch an arbitrarily long run.
+    """
+
+    def __init__(self, capacity: int = 65536) -> None:
+        if capacity < 1:
+            raise ValueError("ring buffer needs capacity >= 1")
+        self.capacity = capacity
+        self._buf: deque = deque(maxlen=capacity)
+        self.dropped = 0
+        self.total = 0
+
+    def write(self, event: Dict) -> None:
+        if len(self._buf) == self.capacity:
+            self.dropped += 1
+        self.total += 1
+        self._buf.append(event)
+
+    @property
+    def events(self) -> List[Dict]:
+        return list(self._buf)
+
+    def __len__(self) -> int:
+        return len(self._buf)
+
+
+class JsonlSink(TraceSink):
+    """Appends one compact JSON object per event to a file."""
+
+    def __init__(self, path: str) -> None:
+        self.path = Path(path)
+        self._fh = self.path.open("w")
+        self.written = 0
+
+    def write(self, event: Dict) -> None:
+        self._fh.write(json.dumps(event, separators=(",", ":")))
+        self._fh.write("\n")
+        self.written += 1
+
+    def close(self) -> None:
+        if self._fh is not None:
+            self._fh.close()
+            self._fh = None
+
+
+class Tracer:
+    """Fans events out to sinks; inert when ``enabled`` is False."""
+
+    __slots__ = ("enabled", "sinks")
+
+    def __init__(self, sinks: Iterable[TraceSink] = (),
+                 enabled: bool = True) -> None:
+        self.sinks: List[TraceSink] = list(sinks)
+        self.enabled = enabled and bool(self.sinks)
+
+    def emit(self, cycle: int, tid: int, kind: str, **fields) -> None:
+        if not self.enabled:
+            return
+        event = {"cycle": cycle, "tid": tid, "kind": kind}
+        if fields:
+            event.update(fields)
+        for sink in self.sinks:
+            sink.write(event)
+
+    def close(self) -> None:
+        for sink in self.sinks:
+            sink.close()
+
+    def ring_events(self) -> List[Dict]:
+        """Events held by the first ring-buffer sink (tests/debugging)."""
+        for sink in self.sinks:
+            if isinstance(sink, RingBufferSink):
+                return sink.events
+        return []
+
+
+#: Shared disabled tracer: the default for every instrumented object.
+NULL_TRACER = Tracer(enabled=False)
+
+
+def build_tracer(trace: bool = False, out: Optional[str] = None,
+                 ring: int = 65536) -> Tracer:
+    """Sink selection for the CLI: ring buffer always (when tracing),
+    plus a JSONL file when ``out`` is given.  ``--trace-out`` implies
+    ``--trace``."""
+    if not trace and out is None:
+        return NULL_TRACER
+    sinks: List[TraceSink] = [RingBufferSink(ring)]
+    if out is not None:
+        sinks.append(JsonlSink(out))
+    return Tracer(sinks)
+
+
+def read_jsonl(path: str) -> Iterator[Dict]:
+    """Stream events back from a JSONL trace file."""
+    with Path(path).open() as fh:
+        for line in fh:
+            line = line.strip()
+            if line:
+                yield json.loads(line)

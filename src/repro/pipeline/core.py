@@ -32,6 +32,7 @@ from repro.config import MachineConfig
 from repro.frontend.branch import HybridPredictor
 from repro.isa.opcodes import Op
 from repro.mem.hierarchy import MemoryHierarchy
+from repro.obs import NULL_TRACER
 from repro.rename.base import RenameEngine
 
 from .alu import execute
@@ -80,12 +81,21 @@ class Pipeline:
 
     def __init__(self, cfg: MachineConfig, programs: List[Program],
                  engine: RenameEngine,
-                 hierarchy: MemoryHierarchy) -> None:
+                 hierarchy: MemoryHierarchy,
+                 tracer=None, metrics=None) -> None:
         if len(programs) != cfg.n_threads:
             raise ValueError("one program per hardware thread required")
         self.cfg = cfg
         self.engine = engine
         self.hierarchy = hierarchy
+        #: Observability: event tracer (inert by default) and optional
+        #: metrics registry, shared with the engine, ASTQ and caches.
+        self.trace = tracer if tracer is not None else NULL_TRACER
+        self.metrics = metrics
+        clock = lambda: self.cycle  # noqa: E731 - shared cycle source
+        engine.attach_obs(self.trace, metrics, clock)
+        hierarchy.attach_obs(self.trace, metrics, clock)
+        self._stall_run = 0         # rename-stall run-length tracking
         self.predictor = HybridPredictor()
         self.threads = [ThreadState(i, p) for i, p in enumerate(programs)]
         for t in self.threads:
@@ -170,6 +180,8 @@ class Pipeline:
         dl1 = self.hierarchy.dl1.stats
         s.dl1_accesses = dl1.accesses
         s.dl1_breakdown = dict(dl1.by_kind)
+        s.dl1_miss_breakdown = dict(dl1.miss_by_kind)
+        s.dl1_port_conflict_cycles = self.hierarchy.dl1_ports.conflict_cycles
         s.dl1_miss_rate = dl1.miss_rate
         s.l2_miss_rate = self.hierarchy.l2.stats.miss_rate
         s.max_regs_in_use = self.engine.regfile.max_in_use
@@ -185,6 +197,23 @@ class Pipeline:
         rsid = getattr(self.engine, "rsid", None)
         if rsid is not None:
             s.rsid_flushes = rsid.flushes
+        self.engine.finalize_obs()
+        m = self.metrics
+        if m is not None:
+            if self._stall_run:
+                m.dist("rename.stall_run_len").record(self._stall_run)
+                self._stall_run = 0
+            ports = self.hierarchy.dl1_ports
+            m.set("pipeline.cycles", s.cycles)
+            m.set("pipeline.committed", s.committed)
+            m.set("pipeline.mispredicts", s.branch_mispredicts)
+            m.set("dl1.accesses", dl1.accesses)
+            m.set("dl1.port_rejections", ports.rejections)
+            m.set("dl1.port_conflict_cycles", ports.conflict_cycles)
+            for kind, n in dl1.miss_by_kind.items():
+                m.set(f"dl1.miss.{kind}", n)
+            m.snapshot(self.cycle, committed=s.committed)  # closing
+            s.metrics = m.to_dict()
         return s
 
     # ==================================================================
@@ -217,7 +246,21 @@ class Pipeline:
 
         self._commit(now)
         self._trap_sequencer(now)
-        self._rename_dispatch(now)
+        m = self.metrics
+        if m is None:
+            self._rename_dispatch(now)
+        else:
+            # Rename-stall run lengths: consecutive cycles in which a
+            # rename-ready instruction was waiting but none renamed.
+            rob_before = sum(self._rob_per_thread)
+            self._rename_dispatch(now)
+            renamed = sum(self._rob_per_thread) - rob_before
+            if renamed:
+                if self._stall_run:
+                    m.dist("rename.stall_run_len").record(self._stall_run)
+                    self._stall_run = 0
+            elif any(q and q[0][0] <= now for q in self.front):
+                self._stall_run += 1
         # An ASTQ head that has starved behind program memory traffic
         # is promoted ahead of this cycle's loads (see ASTQ.head_age).
         if astq is not None and astq.head_age() > _ASTQ_AGE_PRIORITY:
@@ -229,6 +272,13 @@ class Pipeline:
                 self.hierarchy.dl1_ports.try_acquire()
                 astq.issue_head(now)
         self._fetch(now)
+        if m is not None:
+            m.dist("pipeline.iq_occupancy").record(self.iq_count)
+            m.dist("pipeline.rob_occupancy").record(
+                sum(self._rob_per_thread))
+            if astq is not None:
+                m.dist("astq.occupancy").record(len(astq.queue))
+            m.tick(now, committed=self.stats.committed)
         self.cycle = now + 1
 
     # ==================================================================
@@ -252,6 +302,7 @@ class Pipeline:
         self.hierarchy.il1.access(_ICACHE_BASE + t.next_pc * 8,
                                   write=False, kind="ifetch")
         predictor = self.predictor
+        tr = self.trace
         ready_at = now + self._front_latency
         for _ in range(self.cfg.width):
             pc = t.next_pc
@@ -263,6 +314,9 @@ class Pipeline:
             ins = code[pc]
             d = DynInst(self._seq, t.tid, pc, ins)
             self._seq += 1
+            if tr.enabled:
+                tr.emit(now, t.tid, "fetch", seq=d.seq, pc=pc,
+                        asm=ins.disassemble())
             next_pc = pc + 1
             if ins.is_cond_branch:
                 taken, cp = predictor.predict(pc)
@@ -329,6 +383,8 @@ class Pipeline:
                     break
                 queue.popleft()
                 d.renamed_at = now
+                if self.trace.enabled:
+                    self.trace.emit(now, tid, "rename", seq=d.seq)
                 self.rob[tid].append(d)
                 self._rob_per_thread[tid] += 1
                 if simple:
@@ -377,6 +433,7 @@ class Pipeline:
         int_slots = self.cfg.int_alus
         fp_slots = self.cfg.fp_units
         deferred = []
+        tr = self.trace
         while budget and self._ready:
             _, d = heapq.heappop(self._ready)
             if d.squashed or d.issued:
@@ -394,6 +451,8 @@ class Pipeline:
             d.issued = True
             d.in_iq = False
             self.iq_count -= 1
+            if tr.enabled:
+                tr.emit(now, d.tid, "issue", seq=d.seq)
             if d.instr.is_mem:
                 latency = 1  # AGU
             else:
@@ -413,10 +472,13 @@ class Pipeline:
             self._pending_loads.append(d)
             self._pending_loads.sort(key=lambda x: x.seq)
             return
+        tr = self.trace
         if ins.is_store:
             d.mem_addr = res.mem_addr
             d.store_val = res.store_val
             d.done = True  # the data-cache write happens at commit
+            if tr.enabled:
+                tr.emit(self.cycle, d.tid, "writeback", seq=d.seq)
             return
         d.result = res.result
         if d.pdst is not None:
@@ -424,6 +486,8 @@ class Pipeline:
             d.pdst.ready = True
             self._wakeup(d.pdst)
         d.done = True
+        if tr.enabled:
+            tr.emit(self.cycle, d.tid, "writeback", seq=d.seq)
         if ins.is_branch:
             d.actual_taken = res.taken
             d.actual_target = (res.target if res.taken else d.pc + 1)
@@ -478,6 +542,10 @@ class Pipeline:
             d.pdst.ready = True
             self._wakeup(d.pdst)
         d.done = True
+        tr = self.trace
+        if tr.enabled:
+            tr.emit(self.cycle, d.tid, "writeback", seq=d.seq,
+                    forwarded=from_forward)
 
     # ==================================================================
     # commit
@@ -517,6 +585,8 @@ class Pipeline:
                 self.lsq_count -= 1
             self.engine.on_commit(d)
             d.committed = True
+            if self.trace.enabled:
+                self.trace.emit(now, d.tid, "commit", seq=d.seq, pc=d.pc)
             t = stats.threads[d.tid]
             t.committed += 1
             self.threads[d.tid].inflight -= 1
@@ -553,6 +623,10 @@ class Pipeline:
         tid = branch.tid
         seq = branch.seq
         t = self.threads[tid]
+        tr = self.trace
+        if tr.enabled:
+            tr.emit(self.cycle, tid, "mispredict", seq=seq, pc=branch.pc,
+                    target=branch.actual_target)
 
         # Drop not-yet-renamed wrong-path instructions from the front
         # end (youngest-first, rewinding their speculative history).
@@ -564,6 +638,8 @@ class Pipeline:
                 d.squashed = True
                 t.inflight -= 1
                 self.stats.threads[tid].squashed += 1
+                if tr.enabled:
+                    tr.emit(self.cycle, tid, "squash", seq=d.seq)
                 dropped.append(d)
             else:
                 kept.append(entry)
@@ -577,6 +653,8 @@ class Pipeline:
         victims = [d for d in self.rob[tid] if d.seq > seq]
         for d in reversed(victims):
             d.squashed = True
+            if tr.enabled:
+                tr.emit(self.cycle, tid, "squash", seq=d.seq)
             self._rob_per_thread[d.tid] -= 1
             if d.instr.is_cond_branch:
                 self.predictor.undo_spec(d.pred_cp)

@@ -3,7 +3,7 @@
 from __future__ import annotations
 
 from collections import Counter
-from dataclasses import dataclass, field
+from dataclasses import asdict, dataclass, field, fields
 from typing import Dict, List
 
 
@@ -42,10 +42,15 @@ class SimStats:
     rename_stalls: Counter = field(default_factory=Counter)
     dl1_accesses: int = 0
     dl1_breakdown: Dict[str, int] = field(default_factory=dict)
+    dl1_miss_breakdown: Dict[str, int] = field(default_factory=dict)
+    dl1_port_conflict_cycles: int = 0
     dl1_miss_rate: float = 0.0
     l2_miss_rate: float = 0.0
     rsid_flushes: int = 0
     max_regs_in_use: int = 0
+    #: Metrics-registry dump (counters/dists/snapshots) when the run
+    #: was built with a registry; empty otherwise.
+    metrics: Dict = field(default_factory=dict)
 
     @property
     def committed(self) -> int:
@@ -73,23 +78,62 @@ class SimStats:
 
     def summary(self) -> str:
         """Human-readable one-run report."""
+        def row(label: str, value, extra: str = "") -> str:
+            # A fixed label column plus an explicit separator before
+            # any annotation keeps the report aligned (and readable)
+            # however wide the counts get.
+            text = f"{label:<22}{value}"
+            return f"{text}  {extra}" if extra else text
+
         lines = [
-            f"cycles                {self.cycles}",
-            f"committed             {self.committed}",
-            f"IPC                   {self.ipc:.3f}",
-            f"DL1 accesses          {self.dl1_accesses}"
-            f"  ({self.dl1_accesses_per_instr:.3f}/instr)",
-            f"DL1 breakdown         {self.dl1_breakdown}",
-            f"DL1 miss rate         {self.dl1_miss_rate:.4f}",
-            f"branch mispredicts    {self.branch_mispredicts}"
-            f"  (rate {self.mispredict_rate:.4f})",
-            f"spills / fills        {self.spills} / {self.fills}",
-            f"window traps          {self.window_overflows} ov /"
-            f" {self.window_underflows} un",
-            f"rename stalls         {dict(self.rename_stalls)}",
+            row("cycles", self.cycles),
+            row("committed", self.committed),
+            row("IPC", f"{self.ipc:.3f}"),
+            row("DL1 accesses", self.dl1_accesses,
+                f"({self.dl1_accesses_per_instr:.3f}/instr)"),
+            row("DL1 breakdown", self.dl1_breakdown),
+            row("DL1 miss rate", f"{self.dl1_miss_rate:.4f}"),
+            row("branch mispredicts", self.branch_mispredicts,
+                f"(rate {self.mispredict_rate:.4f})"),
+            row("spills / fills", f"{self.spills} / {self.fills}"),
+            row("window traps", f"{self.window_overflows} ov / "
+                                f"{self.window_underflows} un"),
+            row("rsid flushes", self.rsid_flushes),
+            row("max regs in use", self.max_regs_in_use),
+            row("rename stalls", dict(self.rename_stalls)),
         ]
         for i, t in enumerate(self.threads):
             lines.append(f"thread {i}: committed={t.committed} "
                          f"ipc={self.thread_ipc(i):.3f} "
                          f"halted={t.halted}")
         return "\n".join(lines)
+
+    # -- serialization -----------------------------------------------------
+    def to_dict(self) -> Dict:
+        """One JSON-safe schema for exports, artifacts and tests.
+
+        Contains every stored field (``threads`` as a list of dicts,
+        ``rename_stalls`` as a plain dict) plus the derived headline
+        rates; :meth:`from_dict` ignores the derived keys.
+        """
+        d = asdict(self)
+        d["rename_stalls"] = dict(self.rename_stalls)
+        d["ipc"] = self.ipc
+        d["committed_total"] = self.committed
+        d["mispredict_rate"] = self.mispredict_rate
+        d["dl1_accesses_per_instr"] = self.dl1_accesses_per_instr
+        return d
+
+    #: Derived keys present in :meth:`to_dict` but not stored.
+    _DERIVED = ("ipc", "committed_total", "mispredict_rate",
+                "dl1_accesses_per_instr")
+
+    @classmethod
+    def from_dict(cls, d: Dict) -> "SimStats":
+        """Inverse of :meth:`to_dict` (round-trip safe)."""
+        known = {f.name for f in fields(cls)}
+        kw = {k: v for k, v in d.items()
+              if k in known and k not in ("threads", "rename_stalls")}
+        kw["threads"] = [ThreadStats(**t) for t in d.get("threads", [])]
+        kw["rename_stalls"] = Counter(d.get("rename_stalls", {}))
+        return cls(**kw)

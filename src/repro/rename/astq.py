@@ -22,6 +22,7 @@ from collections import deque
 from typing import Callable, List, Optional
 
 from repro.mem.hierarchy import MemoryHierarchy
+from repro.obs import NULL_TRACER
 
 from .regfile import PhysReg, PhysRegFile
 
@@ -65,6 +66,16 @@ class ASTQ:
         self.spills = 0
         self.fills = 0
         self.max_occupancy = 0
+        #: Observability hooks; inert until :meth:`attach_obs`.
+        self.trace = NULL_TRACER
+        self.metrics = None
+        self.clock: Callable[[], int] = lambda: 0
+
+    def attach_obs(self, tracer, metrics,
+                   clock: Callable[[], int]) -> None:
+        self.trace = tracer
+        self.metrics = metrics
+        self.clock = clock
 
     def begin_cycle(self) -> None:
         self._writes_this_cycle = 0
@@ -146,6 +157,9 @@ class ASTQ:
             return False
         op = self.queue.popleft()
         op.issued_at = now
+        m = self.metrics
+        if m is not None:
+            m.dist("astq.issue_wait").record(now - op.queued_at)
         is_write = op.kind == "spill"
         latency = self.hierarchy.dl1_access(op.addr, write=is_write,
                                             kind=op.kind)
@@ -165,6 +179,12 @@ class ASTQ:
         for op in self.in_flight:
             if op.complete_at <= now:
                 if op.kind == "fill":
+                    m = self.metrics
+                    if m is not None:
+                        # Queue-to-data latency: what a dependent
+                        # instruction actually waits on a rename miss.
+                        m.dist("astq.fill_latency").record(
+                            now - op.queued_at)
                     preg = op.preg
                     if not preg.doomed:
                         preg.value = self.hierarchy.read_word(op.addr)

@@ -4,10 +4,11 @@ from __future__ import annotations
 
 import abc
 from collections import Counter
-from typing import Optional, TYPE_CHECKING
+from typing import Callable, Optional, TYPE_CHECKING
 
 from repro.config import MachineConfig
 from repro.mem.hierarchy import MemoryHierarchy
+from repro.obs import NULL_TRACER
 
 from .regfile import PhysRegFile
 
@@ -56,6 +57,24 @@ class RenameEngine(abc.ABC):
         self.stalls = Counter()
         #: Pending window trap, if any (conventional windows only).
         self.trap_request: Optional[TrapRequest] = None
+        #: Observability hooks; inert until :meth:`attach_obs`.
+        self.trace = NULL_TRACER
+        self.metrics = None
+        self.clock: Callable[[], int] = lambda: 0
+
+    # -- observability ----------------------------------------------------
+    def attach_obs(self, tracer, metrics, clock: Callable[[], int]) -> None:
+        """Wire the tracer/metrics registry and a cycle source in.
+
+        Engines with internal structures (e.g. the VCA ASTQ) override
+        this to forward the hooks.
+        """
+        self.trace = tracer
+        self.metrics = metrics
+        self.clock = clock
+
+    def finalize_obs(self) -> None:
+        """Flush engine-side metrics at end of run (optional hook)."""
 
     # -- per-cycle ----------------------------------------------------------
     def begin_cycle(self) -> None:

@@ -78,6 +78,58 @@ class VcaRename(RenameEngine):
         self.rsid_flush_stall_cycles = 0
         #: Registers reclaimed spill-free by the dead-window extension.
         self.dead_drops = 0
+        # Spill-burst tracking for the metrics registry: a burst is a
+        # run of spills on consecutive cycles (the "spill storm" shape
+        # the trace view is for).
+        self._spill_burst = 0
+        self._last_spill_cycle = -2
+
+    # -- observability -------------------------------------------------------
+    def attach_obs(self, tracer, metrics, clock) -> None:
+        super().attach_obs(tracer, metrics, clock)
+        if self._astq is not None:
+            self._astq.attach_obs(tracer, metrics, clock)
+
+    def _obs_spill(self, addr: int, cause: str) -> None:
+        """Record one spill (event + cause counter + burst length)."""
+        tr = self.trace
+        if tr.enabled:
+            tr.emit(self.clock(), -1, "spill", addr=addr, cause=cause)
+        m = self.metrics
+        if m is not None:
+            m.inc("vca.spill." + cause)
+            now = self.clock()
+            if now - self._last_spill_cycle <= 1:
+                self._spill_burst += 1
+            else:
+                if self._spill_burst:
+                    m.dist("vca.spill_burst_len").record(self._spill_burst)
+                self._spill_burst = 1
+            self._last_spill_cycle = now
+
+    def _obs_fill(self, addr: int, cause: str) -> None:
+        tr = self.trace
+        if tr.enabled:
+            tr.emit(self.clock(), -1, "fill", addr=addr, cause=cause)
+        m = self.metrics
+        if m is not None:
+            m.inc("vca.fill." + cause)
+
+    def finalize_obs(self) -> None:
+        m = self.metrics
+        if m is None:
+            return
+        if self._spill_burst:
+            m.dist("vca.spill_burst_len").record(self._spill_burst)
+            self._spill_burst = 0
+        m.set("vca.spills", self.spills_generated)
+        m.set("vca.fills", self.fills_generated)
+        m.set("vca.dead_drops", self.dead_drops)
+        m.set("vca.rsid_flush_stall_cycles", self.rsid_flush_stall_cycles)
+        m.set("regfile.allocs", self.regfile.allocs)
+        m.set("regfile.max_in_use", self.regfile.max_in_use)
+        if self._astq is not None:
+            m.set("astq.max_occupancy", self._astq.max_occupancy)
 
     # -- plumbing ------------------------------------------------------------
     @property
@@ -173,8 +225,9 @@ class VcaRename(RenameEngine):
             self._flush_rsid = None
 
     # -- spill / fill ------------------------------------------------------------
-    def _spill(self, reg: PhysReg) -> None:
+    def _spill(self, reg: PhysReg, cause: str = "rsid_flush") -> None:
         self.spills_generated += 1
+        self._obs_spill(reg.laddr, cause)
         if self.ideal:
             self.hierarchy.write_word(reg.laddr, reg.value)
         else:
@@ -182,6 +235,7 @@ class VcaRename(RenameEngine):
 
     def _fill(self, reg: PhysReg, laddr: int) -> None:
         self.fills_generated += 1
+        self._obs_fill(laddr, "src_miss")
         if self.ideal:
             reg.value = self.hierarchy.read_word(laddr)
             reg.ready = True
@@ -194,8 +248,12 @@ class VcaRename(RenameEngine):
 
     # -- allocation --------------------------------------------------------------
     def _evict(self, key: Tuple[int, int], reg: PhysReg,
-               journal: List[Undo]) -> bool:
+               journal: List[Undo], cause: str = "evict") -> bool:
         """Reclaim a cached register: spill if dirty, unmap, free."""
+        tr = self.trace
+        if tr.enabled:
+            tr.emit(self.clock(), -1, "victim", preg=reg.idx,
+                    dirty=reg.dirty, laddr=reg.laddr, cause=cause)
         if reg.dirty:
             if self._astq is not None and not self._astq.can_write(1):
                 self.stalls["astq_full"] += 1
@@ -207,6 +265,7 @@ class VcaRename(RenameEngine):
                 op = self._astq.push_spill(reg.laddr, reg.value)
                 self.spills_generated += 1
                 journal.append(lambda o=op: self._astq.unpush(o))
+            self._obs_spill(reg.laddr, cause)
         snapshot = (reg.value, reg.ready, reg.committed, reg.dirty,
                     reg.laddr, reg.from_fill, reg.last_use)
         self.table.remove(key)
@@ -236,7 +295,7 @@ class VcaRename(RenameEngine):
             if victim is None:
                 self.stalls["set_conflict"] += 1
                 return None
-            if not self._evict(*victim, journal):
+            if not self._evict(*victim, journal, cause="set_conflict"):
                 return None
         p = self.regfile.alloc()
         if p is None:
@@ -244,7 +303,7 @@ class VcaRename(RenameEngine):
             if victim is None:
                 self.stalls["no_preg"] += 1
                 return None
-            if not self._evict(*victim, journal):
+            if not self._evict(*victim, journal, cause="regfile_full"):
                 return None
             p = self.regfile.alloc()
             if p is None:  # the evicted way was in our (full) set
@@ -315,6 +374,15 @@ class VcaRename(RenameEngine):
                 self.stalls["rsid_flush"] += 1
                 return False
             p = self.table.lookup(key)
+            tr = self.trace
+            if tr.enabled:
+                tr.emit(self.clock(), d.tid,
+                        "tag_hit" if p is not None else "tag_miss",
+                        laddr=laddr, reg=reg)
+            m = self.metrics
+            if m is not None:
+                m.inc("rename.tag_hit" if p is not None
+                      else "rename.tag_miss")
             if p is None:
                 if (self._astq is not None and not self._astq.can_write(1)):
                     self.stalls["astq_full"] += 1

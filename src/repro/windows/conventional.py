@@ -185,9 +185,11 @@ class ConventionalWindowRename(RenameEngine):
             depth = self.resident_lo
             regs = sorted(self.dirty.get(depth, set()))
             self.resident_lo += 1
+            self._obs_trap("overflow", depth, len(regs))
             return [(self._backing_addr(depth, r), True,
                      self.map[self.lindex(r, depth)].value) for r in regs]
         self.underflows += 1
+        self._obs_trap("underflow", req.window_depth, len(WINDOWED_REGS))
         depth = req.window_depth
         # Restore the entire incoming window (the paper's trap refills
         # a full window); never-saved registers load dead values.
@@ -195,6 +197,16 @@ class ConventionalWindowRename(RenameEngine):
         self.dirty[depth] = set()  # in sync with memory after restore
         return [(self._backing_addr(depth, r), False,
                  self.lindex(r, depth)) for r in WINDOWED_REGS]
+
+    def _obs_trap(self, kind: str, depth: int, transfers: int) -> None:
+        tr = self.trace
+        if tr.enabled:
+            tr.emit(self.clock(), 0, "wtrap", trap=kind, depth=depth,
+                    transfers=transfers)
+        m = self.metrics
+        if m is not None:
+            m.inc("windows." + kind)
+            m.dist("windows.trap_transfers").record(transfers)
 
     def apply_trap_load(self, lidx: int, value: float) -> None:
         """Write a trap-restored value into the logical register."""

@@ -4,12 +4,12 @@ from .generator import (
     BenchmarkBuilder, benchmark_program, build_benchmark,
 )
 from .profiles import (
-    ALL_BENCHMARKS, PROFILES, RW_BENCHMARKS, SMT_EXTRA_BENCHMARKS,
-    TABLE2_RATIOS, BenchmarkProfile,
+    ALL_BENCHMARKS, DIAG_BENCHMARKS, PROFILES, RW_BENCHMARKS,
+    SMT_EXTRA_BENCHMARKS, TABLE2_RATIOS, BenchmarkProfile,
 )
 
 __all__ = [
     "BenchmarkBuilder", "benchmark_program", "build_benchmark",
-    "ALL_BENCHMARKS", "PROFILES", "RW_BENCHMARKS",
+    "ALL_BENCHMARKS", "DIAG_BENCHMARKS", "PROFILES", "RW_BENCHMARKS",
     "SMT_EXTRA_BENCHMARKS", "TABLE2_RATIOS", "BenchmarkProfile",
 ]

@@ -70,30 +70,41 @@ class _Ctx:
         return f"{hint}{self._label_seq}"
 
 
-def _seed_for(name: str, salt: int = 0) -> int:
-    return zlib.crc32(name.encode()) ^ (salt * 0x9E3779B9)
+def _seed_for(name: str, salt: int = 0,
+              seed: Optional[int] = None) -> int:
+    """RNG seed for one generator stream.
+
+    ``seed`` (the user's ``--seed``) perturbs every stream of a
+    program together; ``None`` keeps the historical default streams,
+    so existing benchmarks and cached results are unchanged.
+    """
+    base = zlib.crc32(name.encode()) ^ (salt * 0x9E3779B9)
+    if seed is not None:
+        base ^= zlib.crc32(seed.to_bytes(8, "little", signed=True))
+    return base
 
 
 class BenchmarkBuilder:
     """Builds one benchmark program from a profile."""
 
     def __init__(self, profile: BenchmarkProfile, thread: int = 0,
-                 scale: float = 1.0) -> None:
+                 scale: float = 1.0, seed: Optional[int] = None) -> None:
         self.profile = profile
         self.thread = thread
         self.scale = scale
+        self.seed = seed
 
     # ------------------------------------------------------------------
     def build(self) -> ProgramBuilder:
         p = self.profile
-        rng = random.Random(_seed_for(p.name))
+        rng = random.Random(_seed_for(p.name, seed=self.seed))
         pb = ProgramBuilder(thread=self.thread, name=p.name)
         self.out_addr = pb.alloc(1)
         ws = p.working_set
         self.int_arr = pb.alloc(ws)
         self.fp_arr = pb.alloc(ws) if (p.fp or p.fp_frac) else None
         if p.chase_frac or not p.seq_stride:
-            arr_rng = random.Random(_seed_for(p.name, 1))
+            arr_rng = random.Random(_seed_for(p.name, 1, seed=self.seed))
             for i in range(ws):
                 pb.word(self.int_arr + i * 8, arr_rng.randrange(ws))
 
@@ -188,7 +199,7 @@ class BenchmarkBuilder:
         f = pb.function(fname)
         # Each function gets its own stream so parameter changes in one
         # function never reshuffle its siblings (keeps tuning stable).
-        rng = random.Random(_seed_for(fname, 2))
+        rng = random.Random(_seed_for(fname, 2, seed=self.seed))
         n_int = max(4, p.locals_int + rng.randrange(-1, 2))
         n_fp = max(0, p.locals_fp + (rng.randrange(-1, 2) if p.locals_fp else 0))
         ctx = self._setup_ctx(f, rng, n_int, n_fp)
@@ -235,7 +246,7 @@ class BenchmarkBuilder:
         approximate dynamic cost per recursion level."""
         p = self.profile
         f = pb.function(f"{p.name}_rec")
-        rng = random.Random(_seed_for(p.name, 3))
+        rng = random.Random(_seed_for(p.name, 3, seed=self.seed))
         f.cmplti(_S1, 0, 1)
         f.bne(_S1, "base")
         n_int = max(5, p.locals_int)
@@ -459,26 +470,28 @@ class BenchmarkBuilder:
         ctx.ops += 1
 
 
-def build_benchmark(name: str, thread: int = 0,
-                    scale: float = 1.0) -> ProgramBuilder:
+def build_benchmark(name: str, thread: int = 0, scale: float = 1.0,
+                    seed: Optional[int] = None) -> ProgramBuilder:
     """A fresh :class:`ProgramBuilder` for benchmark ``name``."""
     return BenchmarkBuilder(PROFILES[name], thread=thread,
-                            scale=scale).build()
+                            scale=scale, seed=seed).build()
 
 
 _PROGRAM_CACHE: dict = {}
 
 
 def benchmark_program(name: str, abi: str, thread: int = 0,
-                      scale: float = 1.0) -> Program:
+                      scale: float = 1.0,
+                      seed: Optional[int] = None) -> Program:
     """An assembled (cached) benchmark binary.
 
     Programs are immutable once assembled, so sharing across runs is
     safe; the cache keeps repeated sweeps cheap.
     """
-    key = (name, abi, thread, scale)
+    key = (name, abi, thread, scale, seed)
     prog = _PROGRAM_CACHE.get(key)
     if prog is None:
-        prog = build_benchmark(name, thread=thread, scale=scale).assemble(abi)
+        prog = build_benchmark(name, thread=thread, scale=scale,
+                               seed=seed).assemble(abi)
         _PROGRAM_CACHE[key] = prog
     return prog

@@ -196,8 +196,24 @@ _SMT_EXTRA_PROFILES = [
        branch_frac=0.07, branch_random=0.12, ilp=3),
 ]
 
+#: Small diagnostic workloads for observability work (tracing, metrics
+#: sanity checks).  They are runnable via ``repro run`` but deliberately
+#: excluded from :data:`ALL_BENCHMARKS` so the paper's 23-benchmark SMT
+#: pool (23 choose 2 = 253 pairs) is unchanged.
+_DIAG_PROFILES = [
+    # Call-saturated deep recursion: a torture test for the rename
+    # path.  Nearly every window is live at once, so a VCA machine
+    # spills and fills constantly — short traces show the full event
+    # vocabulary (tag misses, victims, ASTQ traffic, window traps).
+    _p(name="fib", call_interval=40, locals_int=6, levels=1, fanout=1,
+       reps=1, recursion=24, working_set=512, load_frac=0.12,
+       store_frac=0.05, branch_frac=0.1, branch_random=0.2, ilp=2,
+       target_dynamic=8_000),
+]
+
 PROFILES: Dict[str, BenchmarkProfile] = {
-    p.name: p for p in _RW_PROFILES + _SMT_EXTRA_PROFILES}
+    p.name: p for p in _RW_PROFILES + _SMT_EXTRA_PROFILES
+    + _DIAG_PROFILES}
 
 #: Table 2 rows: benchmark -> paper path-length ratio.
 TABLE2_RATIOS: Dict[str, float] = {
@@ -207,3 +223,4 @@ RW_BENCHMARKS: Tuple[str, ...] = tuple(p.name for p in _RW_PROFILES)
 SMT_EXTRA_BENCHMARKS: Tuple[str, ...] = tuple(
     p.name for p in _SMT_EXTRA_PROFILES)
 ALL_BENCHMARKS: Tuple[str, ...] = RW_BENCHMARKS + SMT_EXTRA_BENCHMARKS
+DIAG_BENCHMARKS: Tuple[str, ...] = tuple(p.name for p in _DIAG_PROFILES)
