@@ -8,6 +8,11 @@ Environment knobs:
   the register-window sweeps (default: the full Table 2 suite).
 * ``REPRO_SMT_K`` — ``k1,k2,k4`` representative-workload counts for
   the SMT figures (default ``5,6,4``).
+* ``REPRO_WORKERS`` — run every figure's sweep plan on this many
+  parallel worker processes (default: serial).  Workers inherit the
+  ``REPRO_*`` environment above explicitly.
+* ``REPRO_CACHE_DIR`` — result-cache directory (default:
+  ``.repro_cache`` at the repo root).
 
 Results print as plain-text tables mirroring each figure; every test
 also asserts the qualitative claims the paper makes about its figure
@@ -35,3 +40,15 @@ def rw_subset():
 @pytest.fixture(scope="session")
 def rw_benches():
     return rw_subset()
+
+
+@pytest.fixture(scope="session")
+def engine():
+    """The execution engine every figure sweep runs on (serial unless
+    REPRO_WORKERS asks for parallel workers)."""
+    workers = int(os.environ.get("REPRO_WORKERS", "0") or 0)
+    if workers > 1:
+        from repro.experiments.engine import ParallelEngine
+        return ParallelEngine(workers=workers)
+    from repro.experiments.engine import SerialEngine
+    return SerialEngine()

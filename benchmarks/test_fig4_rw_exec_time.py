@@ -10,9 +10,10 @@ from repro.experiments.report import render_series
 from repro.experiments.rw import REG_SIZES, fig4_execution_time
 
 
-def test_fig4_execution_time(benchmark, rw_benches):
+def test_fig4_execution_time(benchmark, rw_benches, engine):
     series = benchmark.pedantic(
-        fig4_execution_time, kwargs={"benches": rw_benches},
+        fig4_execution_time,
+        kwargs={"benches": rw_benches, "engine": engine},
         rounds=1, iterations=1)
     print()
     print(render_series("Figure 4: normalized execution time",

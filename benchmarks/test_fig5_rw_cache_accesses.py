@@ -11,9 +11,10 @@ from repro.experiments.report import render_series
 from repro.experiments.rw import fig5_cache_accesses
 
 
-def test_fig5_cache_accesses(benchmark, rw_benches):
+def test_fig5_cache_accesses(benchmark, rw_benches, engine):
     series = benchmark.pedantic(
-        fig5_cache_accesses, kwargs={"benches": rw_benches},
+        fig5_cache_accesses,
+        kwargs={"benches": rw_benches, "engine": engine},
         rounds=1, iterations=1)
     print()
     print(render_series("Figure 5: normalized data-cache accesses",

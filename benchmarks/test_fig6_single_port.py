@@ -10,9 +10,10 @@ from repro.experiments.report import render_series
 from repro.experiments.rw import fig4_execution_time, fig6_single_port
 
 
-def test_fig6_single_port(benchmark, rw_benches):
+def test_fig6_single_port(benchmark, rw_benches, engine):
     series = benchmark.pedantic(
-        fig6_single_port, kwargs={"benches": rw_benches},
+        fig6_single_port,
+        kwargs={"benches": rw_benches, "engine": engine},
         rounds=1, iterations=1)
     print()
     print(render_series(

@@ -14,8 +14,9 @@ def _peak(col):
     return max(v for v in col.values() if v is not None)
 
 
-def test_fig7_smt(benchmark):
-    series = benchmark.pedantic(fig7_smt, rounds=1, iterations=1)
+def test_fig7_smt(benchmark, engine):
+    series = benchmark.pedantic(fig7_smt, kwargs={"engine": engine},
+                                rounds=1, iterations=1)
     print()
     print(render_series("Figure 7: SMT weighted speedup",
                         "phys regs", series))

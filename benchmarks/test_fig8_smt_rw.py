@@ -16,8 +16,9 @@ def _peak(col):
     return max(v for v in col.values() if v is not None)
 
 
-def test_fig8_smt_rw(benchmark):
-    series = benchmark.pedantic(fig8_smt_rw, rounds=1, iterations=1)
+def test_fig8_smt_rw(benchmark, engine):
+    series = benchmark.pedantic(fig8_smt_rw, kwargs={"engine": engine},
+                                rounds=1, iterations=1)
     print()
     print(render_series("Figure 8: SMT + register windows",
                         "phys regs", series))

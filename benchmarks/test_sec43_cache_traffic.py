@@ -9,8 +9,10 @@ from repro.experiments.report import render_table
 from repro.experiments.smt import sec43_cache_traffic
 
 
-def test_sec43_cache_traffic(benchmark):
-    apw = benchmark.pedantic(sec43_cache_traffic, rounds=1, iterations=1)
+def test_sec43_cache_traffic(benchmark, engine):
+    apw = benchmark.pedantic(sec43_cache_traffic,
+                             kwargs={"engine": engine},
+                             rounds=1, iterations=1)
     print()
     print(render_table(
         ["machine", "DL1 accesses / flat-equivalent instr"],

@@ -8,9 +8,15 @@ Commands mirror the paper's evaluation:
 * ``fig4`` / ``fig5`` / ``fig6`` — the register-window sweeps.
 * ``fig7`` / ``fig8`` — the SMT studies.
 * ``sec43`` — the 4-thread cache-traffic comparison.
+* ``sweep`` — run a declarative sweep plan through the experiment
+  engine: parallel workers, per-point fault isolation and timeout,
+  live progress, a JSONL journal and ``--resume``.
 * ``disasm`` — disassemble a generated benchmark binary.
 * ``trace`` — render a JSONL event trace (from ``run --trace-out``)
   as a per-instruction pipeline view.
+
+Figure commands accept ``--workers N`` to run their plan on the
+parallel engine; ``sweep`` exposes the full engine surface.
 """
 
 from __future__ import annotations
@@ -114,6 +120,19 @@ def _cmd_table2(args) -> int:
     return 0
 
 
+def _engine_from(args):
+    """Build the execution engine the flags ask for (None → serial)."""
+    workers = getattr(args, "workers", 0) or 0
+    timeout = getattr(args, "timeout", None)
+    use_cache = not getattr(args, "no_cache", False)
+    if workers > 1:
+        from repro.experiments.engine import ParallelEngine
+        return ParallelEngine(workers=workers, timeout=timeout,
+                              use_cache=use_cache)
+    from repro.experiments.engine import SerialEngine
+    return SerialEngine(use_cache=use_cache)
+
+
 def _emit_series(series, title, args) -> int:
     from repro.experiments.report import render_series
     print(render_series(title, "phys regs", series))
@@ -126,7 +145,8 @@ def _emit_series(series, title, args) -> int:
 
 def _rw_figure(fn, title, args) -> int:
     benches = args.bench or list(RW_BENCHMARKS)
-    series = fn(benches=tuple(benches), scale=args.scale)
+    series = fn(benches=tuple(benches), scale=args.scale,
+                engine=_engine_from(args))
     return _emit_series(series, title, args)
 
 
@@ -150,24 +170,94 @@ def _cmd_fig6(args) -> int:
 
 def _cmd_fig7(args) -> int:
     from repro.experiments.smt import fig7_smt
-    return _emit_series(fig7_smt(scale=args.scale),
+    return _emit_series(fig7_smt(scale=args.scale,
+                                 engine=_engine_from(args)),
                         "Figure 7: SMT weighted speedup", args)
 
 
 def _cmd_fig8(args) -> int:
     from repro.experiments.smt import fig8_smt_rw
-    return _emit_series(fig8_smt_rw(scale=args.scale),
+    return _emit_series(fig8_smt_rw(scale=args.scale,
+                                    engine=_engine_from(args)),
                         "Figure 8: SMT + register windows", args)
 
 
 def _cmd_sec43(args) -> int:
     from repro.experiments.report import render_table
     from repro.experiments.smt import sec43_cache_traffic
-    apw = sec43_cache_traffic(scale=args.scale)
+    apw = sec43_cache_traffic(scale=args.scale,
+                              engine=_engine_from(args))
     print(render_table(["machine", "DL1 accesses / flat-equiv instr"],
                        sorted(apw.items()),
                        title="Section 4.3: 4-thread cache traffic"))
     return 0
+
+
+def _sweep_spec(args):
+    """The plan the ``sweep`` command was asked to run."""
+    from repro.experiments.rw import (
+        REG_SIZES, RW_MODELS, fig4_plan, fig5_plan, fig6_plan, rw_plan,
+    )
+    from repro.experiments.smt import vectors_plan
+
+    benches = tuple(args.bench or RW_BENCHMARKS)
+    sizes = tuple(args.sizes or REG_SIZES)
+    if args.plan == "rw":
+        return rw_plan(models=tuple(args.models or RW_MODELS),
+                       sizes=sizes, benches=benches,
+                       dl1_ports=args.ports, scale=args.scale)
+    if args.plan == "vectors":
+        return vectors_plan(scale=args.scale)
+    fig = {"fig4": fig4_plan, "fig5": fig5_plan, "fig6": fig6_plan}
+    return fig[args.plan](benches=benches, sizes=sizes,
+                          scale=args.scale)
+
+
+def _cmd_sweep(args) -> int:
+    import time
+
+    from repro.experiments.report import (
+        render_outcome_summary, render_progress, render_series,
+    )
+    from repro.obs import MetricsRegistry
+
+    spec = _sweep_spec(args)
+    engine = _engine_from(args)
+    metrics = MetricsRegistry()
+    live = sys.stderr.isatty()
+
+    def on_progress(p) -> None:
+        line = render_progress(p)
+        if live:
+            print(f"\r{line}\x1b[K", end="", file=sys.stderr,
+                  flush=True)
+        else:
+            print(line, file=sys.stderr, flush=True)
+
+    t0 = time.monotonic()
+    outcomes = engine.run(
+        spec.points(), journal=args.journal, resume=args.resume,
+        progress=None if args.quiet else on_progress, metrics=metrics)
+    if live and not args.quiet:
+        print(file=sys.stderr)
+    print(render_outcome_summary(outcomes, time.monotonic() - t0))
+
+    failed = [oc for oc in outcomes.values() if not oc.ok]
+    if spec.reduce is not None and not failed:
+        print()
+        print(render_series(f"{spec.name} series", "phys regs",
+                            spec.reduce(outcomes)))
+    if args.csv:
+        from repro.experiments.export import write_outcomes_csv
+        print(f"(wrote {write_outcomes_csv(args.csv, outcomes)})")
+    if args.metrics:
+        dist = metrics.dists.get("sweep.point_seconds")
+        for name in sorted(metrics.counters):
+            print(f"{name} = {metrics.counters[name]:g}")
+        if dist is not None and dist.count:
+            print(f"sweep.point_seconds mean={dist.mean:.3f} "
+                  f"p90={dist.percentile(90):.3f} max={dist.max:.3f}")
+    return 1 if failed else 0
 
 
 def _cmd_disasm(args) -> int:
@@ -229,7 +319,49 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument("--scale", type=float, default=1.0)
         p.add_argument("--csv", metavar="PATH", default=None,
                        help="also write the series as CSV")
+        if name != "table2":
+            p.add_argument("--workers", type=int, default=0,
+                           metavar="N",
+                           help="run the sweep on N parallel workers")
+            p.add_argument("--timeout", type=float, default=None,
+                           metavar="SECS",
+                           help="per-point timeout (parallel only)")
         p.set_defaults(fn=fn)
+
+    sw = sub.add_parser(
+        "sweep", help="run a sweep plan through the experiment engine")
+    sw.add_argument("plan",
+                    choices=["rw", "fig4", "fig5", "fig6", "vectors"],
+                    help="plan to run: the raw register-window grid, "
+                         "a Section 4.1 figure, or the SMT "
+                         "characterisation runs")
+    sw.add_argument("--models", nargs="+", default=None, metavar="NAME",
+                    help="machine models (rw plan; default: all four)")
+    sw.add_argument("--sizes", nargs="+", type=int, default=None,
+                    metavar="N", help="physical register file sizes")
+    sw.add_argument("--bench", nargs="+", default=None, metavar="NAME",
+                    help="benchmarks (default: the Table 2 suite)")
+    sw.add_argument("--ports", type=int, default=2,
+                    help="DL1 ports (rw plan)")
+    sw.add_argument("--scale", type=float, default=None,
+                    help="workload scale (default: REPRO_SCALE or 1.0)")
+    sw.add_argument("--workers", type=int, default=0, metavar="N",
+                    help="parallel worker processes (default: serial)")
+    sw.add_argument("--timeout", type=float, default=None,
+                    metavar="SECS", help="per-point timeout")
+    sw.add_argument("--journal", metavar="PATH", default=None,
+                    help="append per-point results to a JSONL journal")
+    sw.add_argument("--resume", action="store_true",
+                    help="skip points already completed in --journal")
+    sw.add_argument("--no-cache", action="store_true",
+                    help="ignore (and don't consult) the result cache")
+    sw.add_argument("--csv", metavar="PATH", default=None,
+                    help="write per-point outcomes as CSV")
+    sw.add_argument("--metrics", action="store_true",
+                    help="print engine metrics (repro.obs registry)")
+    sw.add_argument("--quiet", action="store_true",
+                    help="suppress the live progress line")
+    sw.set_defaults(fn=_cmd_sweep)
 
     dis = sub.add_parser("disasm", help="disassemble a benchmark")
     dis.add_argument("--bench", nargs=1, default=["gzip_graphic"])
@@ -261,6 +393,10 @@ def main(argv: Optional[List[str]] = None) -> int:
         # are runnable without joining the experiment pool.
         if bench not in PROFILES:
             parser.error(f"unknown benchmark {bench!r}; "
+                         f"see `python -m repro list`")
+    for model in getattr(args, "models", None) or []:
+        if model not in MODELS:
+            parser.error(f"unknown model {model!r}; "
                          f"see `python -m repro list`")
     return args.fn(args)
 

@@ -1,0 +1,378 @@
+"""Plan execution engines: serial and parallel, fault-tolerant.
+
+An engine runs the points of a sweep plan (``repro.experiments.plan``)
+and returns ``{Point: PointOutcome}``.  Both engines share the same
+front half — dedupe, journal-resume, cache-aware scheduling (points
+whose result is already on disk are resolved in-process, before any
+worker is forked) — and differ only in how the residue executes:
+
+* :class:`SerialEngine` runs points in-process, capturing exceptions
+  into the point's outcome so one broken configuration cannot kill a
+  sweep.
+* :class:`ParallelEngine` runs each point in its own worker process
+  (``fork`` where available, else ``spawn``), giving hard fault
+  isolation: an exception, a hard crash (``os._exit``, segfault) or a
+  per-point timeout marks only that point failed; every other point
+  completes.  The parent's ``REPRO_*`` environment is propagated to
+  workers explicitly, so spawned workers never silently run at default
+  scale or against the wrong cache directory.
+
+Every finished point is appended to an optional JSONL *journal*;
+re-running with ``resume=True`` replays completed points from the
+journal (failed and timed-out points are retried).  Progress flows
+through a callback as :class:`SweepProgress` snapshots, and per-point
+accounting can be aggregated into a
+:class:`repro.obs.MetricsRegistry`.
+"""
+
+from __future__ import annotations
+
+import json
+import multiprocessing as mp
+import os
+import time
+import traceback
+from collections import deque
+from dataclasses import dataclass, field
+from multiprocessing import connection as mp_connection
+from pathlib import Path
+from typing import (
+    Any, Callable, Dict, Iterable, List, Optional, Sequence, Tuple,
+)
+
+from .plan import Point, SweepSpec, unique_points
+
+#: Outcome statuses counted as successfully completed.
+_OK_STATUSES = ("done", "cached", "resumed")
+
+
+class EngineError(RuntimeError):
+    """Raised when a failed point's result is requested."""
+
+
+@dataclass
+class PointOutcome:
+    """What happened to one point of a sweep.
+
+    ``status`` is one of ``done`` (executed this run), ``cached``
+    (resolved from the result cache without executing), ``resumed``
+    (replayed from the journal), ``failed`` (exception or worker
+    crash; see ``error``) or ``timeout``.
+    """
+
+    point: Point
+    status: str
+    payload: Optional[dict] = None
+    error: str = ""
+    elapsed: float = 0.0
+
+    @property
+    def ok(self) -> bool:
+        return self.status in _OK_STATUSES
+
+    def result(self) -> Any:
+        """The point's decoded value; raises :class:`EngineError` for
+        failed/timed-out points."""
+        if not self.ok or self.payload is None:
+            raise EngineError(
+                f"point {self.point.label} {self.status}: {self.error}")
+        return self.point.decode(self.payload)
+
+
+@dataclass
+class SweepProgress:
+    """A live snapshot of a running sweep, passed to the progress
+    callback after every resolved point."""
+
+    total: int = 0
+    done: int = 0
+    cached: int = 0
+    resumed: int = 0
+    failed: int = 0
+    timeout: int = 0
+    elapsed: float = 0.0
+    #: Estimated seconds until the sweep completes (``None`` until at
+    #: least one point has executed).
+    eta: Optional[float] = None
+
+    @property
+    def completed(self) -> int:
+        return (self.done + self.cached + self.resumed + self.failed
+                + self.timeout)
+
+    @property
+    def executed(self) -> int:
+        """Points that actually ran (did not come from cache/journal)."""
+        return self.done + self.failed + self.timeout
+
+
+def repro_env() -> Dict[str, str]:
+    """The ``REPRO_*`` environment to propagate to workers."""
+    return {k: v for k, v in sorted(os.environ.items())
+            if k.startswith("REPRO_")}
+
+
+def apply_repro_env(env: Dict[str, str]) -> None:
+    """Make this process's ``REPRO_*`` environment exactly ``env``
+    (workers call this before executing any point)."""
+    for k in [k for k in os.environ if k.startswith("REPRO_")]:
+        if k not in env:
+            del os.environ[k]
+    os.environ.update(env)
+
+
+def load_journal(path: Path) -> Dict[str, dict]:
+    """Parse a sweep journal into ``{cache_key: record}``.
+
+    Later records win (a resumed sweep appends), and a truncated final
+    line — the crash the journal exists to survive — is ignored.
+    """
+    records: Dict[str, dict] = {}
+    try:
+        text = path.read_text()
+    except OSError:
+        return records
+    for line in text.splitlines():
+        if not line.strip():
+            continue
+        try:
+            rec = json.loads(line)
+        except json.JSONDecodeError:
+            continue
+        if isinstance(rec, dict) and "key" in rec:
+            records[rec["key"]] = rec
+    return records
+
+
+def _journal_line(outcome: PointOutcome) -> str:
+    return json.dumps({
+        "key": outcome.point.cache_key(),
+        "status": outcome.status,
+        "point": outcome.point.to_dict(),
+        "payload": outcome.payload,
+        "error": outcome.error,
+        "elapsed": round(outcome.elapsed, 6),
+    })
+
+
+class _EngineBase:
+    """Shared scheduling front half of every engine."""
+
+    #: Worker-slot count, for ETA estimation.
+    workers = 1
+
+    def __init__(self, use_cache: bool = True) -> None:
+        self.use_cache = use_cache
+
+    def run(self, points: Iterable[Point],
+            journal: Optional[os.PathLike] = None,
+            resume: bool = False,
+            progress: Optional[Callable[[SweepProgress], None]] = None,
+            metrics: Optional[Any] = None,
+            ) -> Dict[Point, PointOutcome]:
+        """Run ``points`` (or a plan's expansion) to completion.
+
+        Never raises for a failing *point* — inspect the returned
+        outcomes (or call :meth:`PointOutcome.result`, which raises
+        :class:`EngineError` for failures).
+        """
+        pts = unique_points(points)
+        prog = SweepProgress(total=len(pts))
+        t0 = time.monotonic()
+        elapsed_samples: List[float] = []
+        outcomes: Dict[Point, PointOutcome] = {}
+
+        journal_path = Path(journal) if journal is not None else None
+        prior = (load_journal(journal_path)
+                 if resume and journal_path is not None else {})
+        jfh = journal_path.open("a") if journal_path is not None else None
+        if metrics is not None:
+            metrics.set("sweep.points.total", len(pts))
+
+        def emit(outcome: PointOutcome) -> None:
+            outcomes[outcome.point] = outcome
+            setattr(prog, outcome.status,
+                    getattr(prog, outcome.status) + 1)
+            prog.elapsed = time.monotonic() - t0
+            if outcome.status in ("done", "failed", "timeout"):
+                elapsed_samples.append(outcome.elapsed)
+            remaining = prog.total - prog.completed
+            if elapsed_samples and remaining:
+                avg = sum(elapsed_samples) / len(elapsed_samples)
+                prog.eta = avg * remaining / max(1, self.workers)
+            elif not remaining:
+                prog.eta = 0.0
+            if jfh is not None:
+                jfh.write(_journal_line(outcome) + "\n")
+                jfh.flush()
+            if metrics is not None:
+                metrics.inc(f"sweep.points.{outcome.status}")
+                if outcome.status in ("done", "failed", "timeout"):
+                    metrics.dist("sweep.point_seconds").record(
+                        outcome.elapsed)
+            if progress is not None:
+                progress(prog)
+
+        try:
+            to_run: List[Point] = []
+            for pt in pts:
+                if pt.cacheable:
+                    rec = prior.get(pt.cache_key())
+                    if (rec is not None and rec["status"] in _OK_STATUSES
+                            and rec.get("payload") is not None):
+                        emit(PointOutcome(pt, "resumed",
+                                          payload=rec["payload"]))
+                        continue
+                    if self.use_cache:
+                        payload = pt.load_cached()
+                        if payload is not None:
+                            emit(PointOutcome(pt, "cached",
+                                              payload=payload))
+                            continue
+                to_run.append(pt)
+            self._execute(to_run, emit)
+        finally:
+            if jfh is not None:
+                jfh.close()
+        return outcomes
+
+    def _execute(self, points: Sequence[Point],
+                 emit: Callable[[PointOutcome], None]) -> None:
+        raise NotImplementedError
+
+
+class SerialEngine(_EngineBase):
+    """In-process executor with exception (but not crash/timeout)
+    isolation — the reference implementation parallel runs must
+    match."""
+
+    def _execute(self, points, emit):
+        for pt in points:
+            t0 = time.monotonic()
+            try:
+                payload = pt.execute(use_cache=self.use_cache)
+                emit(PointOutcome(pt, "done", payload=payload,
+                                  elapsed=time.monotonic() - t0))
+            except Exception:
+                emit(PointOutcome(pt, "failed",
+                                  error=traceback.format_exc(limit=8),
+                                  elapsed=time.monotonic() - t0))
+
+
+def _worker_main(conn, point: Point, use_cache: bool,
+                 env: Dict[str, str]) -> None:
+    """Run one point in a worker process and ship its payload back."""
+    try:
+        apply_repro_env(env)
+        payload = point.execute(use_cache=use_cache)
+        conn.send(("ok", payload))
+    except Exception:
+        try:
+            conn.send(("error", traceback.format_exc(limit=8)))
+        except Exception:  # pragma: no cover - pipe already gone
+            pass
+    finally:
+        conn.close()
+
+
+class ParallelEngine(_EngineBase):
+    """Multiprocessing executor: one worker process per point.
+
+    ``workers`` bounds concurrency (default: the CPU count).
+    ``timeout`` (seconds) kills and fails any single point that runs
+    too long.  ``start_method`` picks the multiprocessing start method
+    (default ``fork`` where available — workers inherit warm imports —
+    else ``spawn``; spawned workers re-import cold, which is why the
+    parent's ``REPRO_*`` environment is re-applied explicitly in the
+    worker before execution).
+    """
+
+    def __init__(self, workers: Optional[int] = None,
+                 timeout: Optional[float] = None,
+                 start_method: Optional[str] = None,
+                 use_cache: bool = True) -> None:
+        super().__init__(use_cache=use_cache)
+        self.workers = max(1, workers if workers else
+                           (os.cpu_count() or 1))
+        self.timeout = timeout
+        if start_method is None:
+            start_method = ("fork" if "fork" in mp.get_all_start_methods()
+                            else "spawn")
+        self._ctx = mp.get_context(start_method)
+
+    def _execute(self, points, emit):
+        pending = deque(points)
+        live: Dict[Any, Tuple[Point, float, Any]] = {}
+        env = repro_env()
+        try:
+            while pending or live:
+                while pending and len(live) < self.workers:
+                    pt = pending.popleft()
+                    recv, send = self._ctx.Pipe(duplex=False)
+                    proc = self._ctx.Process(
+                        target=_worker_main,
+                        args=(send, pt, self.use_cache, env),
+                        daemon=True)
+                    proc.start()
+                    send.close()
+                    live[proc] = (pt, time.monotonic(), recv)
+                # Sleep until a worker reports (or a short tick, so
+                # timeouts and crashes are noticed promptly).
+                mp_connection.wait(
+                    [conn for _, _, conn in live.values()], timeout=0.05)
+                now = time.monotonic()
+                for proc in list(live):
+                    pt, started, conn = live[proc]
+                    outcome = self._poll_one(proc, pt, started, conn, now)
+                    if outcome is not None:
+                        del live[proc]
+                        conn.close()
+                        emit(outcome)
+        finally:
+            for proc, (pt, _, conn) in live.items():
+                proc.terminate()
+                proc.join()
+                conn.close()
+
+    def _poll_one(self, proc, pt: Point, started: float, conn,
+                  now: float) -> Optional[PointOutcome]:
+        """One scheduling decision for one live worker; ``None`` means
+        still running."""
+        elapsed = now - started
+        if conn.poll(0):
+            try:
+                kind, value = conn.recv()
+            except (EOFError, OSError):
+                kind, value = None, None
+            proc.join()
+            if kind == "ok":
+                return PointOutcome(pt, "done", payload=value,
+                                    elapsed=elapsed)
+            if kind == "error":
+                return PointOutcome(pt, "failed", error=value,
+                                    elapsed=elapsed)
+            return PointOutcome(
+                pt, "failed", elapsed=elapsed,
+                error=f"worker died without reporting "
+                      f"(exitcode {proc.exitcode})")
+        if not proc.is_alive():
+            proc.join()
+            return PointOutcome(
+                pt, "failed", elapsed=elapsed,
+                error=f"worker crashed (exitcode {proc.exitcode})")
+        if self.timeout is not None and elapsed > self.timeout:
+            proc.terminate()
+            proc.join()
+            return PointOutcome(
+                pt, "timeout", elapsed=elapsed,
+                error=f"point exceeded {self.timeout:g}s timeout")
+        return None
+
+
+def execute_plan(spec: SweepSpec, engine: Optional[_EngineBase] = None,
+                 **run_kwargs) -> Any:
+    """Expand ``spec``, run it on ``engine`` (default: serial), and
+    apply the plan's reduction (if any) to the outcome map."""
+    engine = engine or SerialEngine()
+    outcomes = engine.run(spec.points(), **run_kwargs)
+    return spec.reduce(outcomes) if spec.reduce is not None else outcomes

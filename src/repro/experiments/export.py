@@ -68,6 +68,43 @@ def write_series_csv(path: str, x_name: str,
     return out
 
 
+#: Per-point columns of a sweep-outcome CSV (``repro sweep --csv``).
+OUTCOME_FIELDS: Tuple[str, ...] = (
+    "status", "kind", "model", "benches", "phys_regs", "dl1_ports",
+    "scale", "elapsed", "cycles", "ipc", "dl1_accesses", "unrunnable",
+    "error", "key",
+)
+
+
+def write_outcomes_csv(path: str, outcomes) -> Path:
+    """Write one row per sweep point (``{Point: PointOutcome}`` from an
+    execution engine) — the raw-grid counterpart of
+    :func:`write_series_csv`."""
+    out = Path(path)
+    with out.open("w", newline="") as fh:
+        writer = csv.DictWriter(fh, fieldnames=OUTCOME_FIELDS)
+        writer.writeheader()
+        for point, oc in outcomes.items():
+            row = {
+                "status": oc.status, "kind": point.kind,
+                "model": point.model,
+                "benches": "+".join(point.benches) or point.bench,
+                "phys_regs": point.phys_regs,
+                "dl1_ports": point.dl1_ports, "scale": point.scale,
+                "elapsed": f"{oc.elapsed:.3f}",
+                "error": oc.error.strip().splitlines()[-1]
+                         if oc.error else "",
+                "key": point.cache_key(),
+            }
+            if oc.ok and point.kind == "run":
+                r = oc.result()
+                row.update(cycles=r.cycles, ipc=f"{r.ipc:.6f}",
+                           dl1_accesses=r.dl1_accesses,
+                           unrunnable=int(r.unrunnable))
+            writer.writerow(row)
+    return out
+
+
 def read_series_csv(path: str) -> Dict[str, Dict[int, Optional[float]]]:
     """Inverse of :func:`write_series_csv` (round-trip testing)."""
     series: Dict[str, Dict[int, Optional[float]]] = {}

@@ -28,6 +28,43 @@ def render_table(headers: Sequence[str], rows: Sequence[Sequence],
     return "\n".join(lines)
 
 
+def render_progress(progress, width: int = 24) -> str:
+    """One live status line for a running sweep (a
+    :class:`~repro.experiments.engine.SweepProgress` snapshot):
+    progress bar, per-status counts, and the ETA once known."""
+    total = max(1, progress.total)
+    filled = int(width * progress.completed / total)
+    bar = "#" * filled + "-" * (width - filled)
+    line = (f"[{bar}] {progress.completed}/{progress.total}"
+            f"  done {progress.done}"
+            f"  cached {progress.cached + progress.resumed}"
+            f"  failed {progress.failed + progress.timeout}")
+    if progress.eta is not None:
+        line += f"  eta {progress.eta:.0f}s"
+    return line
+
+
+def render_outcome_summary(outcomes, elapsed: float) -> str:
+    """End-of-sweep summary: one headline line (greppable ``executed
+    N`` count) plus a line per failed/timed-out point."""
+    counts = {}
+    for oc in outcomes.values():
+        counts[oc.status] = counts.get(oc.status, 0) + 1
+    executed = sum(counts.get(s, 0) for s in ("done", "failed",
+                                              "timeout"))
+    parts = [f"{counts[s]} {s}" for s in
+             ("done", "cached", "resumed", "failed", "timeout")
+             if counts.get(s)]
+    lines = [f"sweep: {len(outcomes)} points ({', '.join(parts) or 'none'})"
+             f" — executed {executed} in {elapsed:.1f}s"]
+    for point, oc in outcomes.items():
+        if not oc.ok:
+            reason = (oc.error.strip().splitlines()[-1]
+                      if oc.error else oc.status)
+            lines.append(f"  {oc.status}: {point.label}: {reason}")
+    return "\n".join(lines)
+
+
 def render_series(title: str, x_name: str,
                   series: Dict[str, Dict[int, Optional[float]]]) -> str:
     """A figure as a table: one column per series, one row per x.

@@ -12,6 +12,7 @@ from __future__ import annotations
 import hashlib
 import json
 import os
+import tempfile
 from dataclasses import asdict, dataclass, field
 from pathlib import Path
 from typing import Dict, List, Optional, Sequence, Tuple
@@ -24,19 +25,54 @@ from repro.rename.base import UnrunnableConfigError
 from repro.workloads import build_benchmark
 from repro.workloads.generator import benchmark_program
 
-_CACHE_DIR = Path(os.environ.get(
-    "REPRO_CACHE_DIR", Path(__file__).resolve().parents[3] / ".repro_cache"))
+_DEFAULT_CACHE_DIR = Path(__file__).resolve().parents[3] / ".repro_cache"
+
+
+def cache_dir() -> Path:
+    """Result-cache directory.
+
+    ``REPRO_CACHE_DIR`` is re-read on every call (rather than once at
+    import) so engine workers — which may be spawned with a different
+    environment — and tests that re-point the cache always agree with
+    their environment.
+    """
+    return Path(os.environ.get("REPRO_CACHE_DIR", _DEFAULT_CACHE_DIR))
+
+
+#: Package-relative source paths excluded from the cache-invalidation
+#: hash: presentation and orchestration layers whose code cannot change
+#: what a simulation computes.  Editing a CLI help string or the sweep
+#: engine must not invalidate every cached simulation result.
+HASH_EXCLUDE: Tuple[str, ...] = (
+    "obs",
+    "cli.py",
+    "experiments/report.py",
+    "experiments/plan.py",
+    "experiments/engine.py",
+)
 
 _source_hash: Optional[str] = None
 
 
+def hashed_source_files() -> List[Path]:
+    """The source files whose content keys the result cache."""
+    root = Path(repro.__file__).parent
+    out = []
+    for path in sorted(root.rglob("*.py")):
+        rel = path.relative_to(root).as_posix()
+        if any(rel == ex or rel.startswith(ex + "/") for ex in HASH_EXCLUDE):
+            continue
+        out.append(path)
+    return out
+
+
 def source_hash() -> str:
-    """Hash of the package sources (cache-invalidation key)."""
+    """Hash of the semantics-bearing package sources
+    (cache-invalidation key)."""
     global _source_hash
     if _source_hash is None:
         h = hashlib.sha1()
-        root = Path(repro.__file__).parent
-        for path in sorted(root.rglob("*.py")):
+        for path in hashed_source_files():
             h.update(path.read_bytes())
         _source_hash = h.hexdigest()[:16]
     return _source_hash
@@ -83,28 +119,60 @@ def _cache_key(**params) -> str:
 
 
 def _cache_load(key: str) -> Optional[dict]:
-    path = _CACHE_DIR / f"{key}.json"
-    if path.exists():
-        try:
-            return json.loads(path.read_text())
-        except (OSError, json.JSONDecodeError):  # pragma: no cover
-            return None
-    return None
+    """Load one cache entry; anything unreadable — missing file,
+    truncated/corrupt JSON, a non-object payload — is a miss (the
+    caller recomputes and rewrites it)."""
+    path = cache_dir() / f"{key}.json"
+    try:
+        payload = json.loads(path.read_text())
+    except (OSError, json.JSONDecodeError):
+        return None
+    return payload if isinstance(payload, dict) else None
 
 
 def _cache_store(key: str, payload: dict) -> None:
-    _CACHE_DIR.mkdir(parents=True, exist_ok=True)
-    tmp = _CACHE_DIR / f"{key}.tmp"
-    tmp.write_text(json.dumps(payload))
-    tmp.replace(_CACHE_DIR / f"{key}.json")
+    """Atomically publish one cache entry.
+
+    Concurrent writers of the same key (parallel sweep workers, or two
+    sweep invocations sharing a cache) each write a unique temp file in
+    the cache directory and atomically ``os.replace`` it over the final
+    path, so readers only ever observe a complete entry — last writer
+    wins, and both writers produce the same payload anyway.
+    """
+    d = cache_dir()
+    d.mkdir(parents=True, exist_ok=True)
+    fd, tmp = tempfile.mkstemp(dir=d, prefix=f"{key}.", suffix=".tmp")
+    try:
+        with os.fdopen(fd, "w") as fh:
+            fh.write(json.dumps(payload))
+        os.replace(tmp, d / f"{key}.json")
+    except OSError:  # pragma: no cover - cleanup best effort
+        try:
+            os.unlink(tmp)
+        except OSError:
+            pass
+        raise
 
 
-def _deserialize(d: dict) -> RunResult:
+def result_from_dict(d: dict) -> RunResult:
+    """Rebuild a :class:`RunResult` from its JSON form."""
     d = dict(d)
     for k in ("benches", "committed", "thread_ipcs", "stats_vector"):
         if k in d:
             d[k] = tuple(d[k])
     return RunResult(**d)
+
+
+def _cache_load_result(key: str) -> Optional[RunResult]:
+    """Cached :class:`RunResult` for ``key``, or ``None`` on any kind
+    of miss (including a schema-mismatched entry from stale code)."""
+    cached = _cache_load(key)
+    if cached is None:
+        return None
+    try:
+        return result_from_dict(cached)
+    except (TypeError, ValueError):
+        return None
 
 
 def run_point(model: str, benches: Sequence[str], phys_regs: int,
@@ -122,9 +190,9 @@ def run_point(model: str, benches: Sequence[str], phys_regs: int,
     key = _cache_key(model=model, benches=benches, phys_regs=phys_regs,
                      dl1_ports=dl1_ports, scale=scale)
     if use_cache:
-        cached = _cache_load(key)
+        cached = _cache_load_result(key)
         if cached is not None:
-            return _deserialize(cached)
+            return cached
 
     abi = model_abi(model)
     programs = [benchmark_program(name, abi, thread=i, scale=scale)
@@ -168,7 +236,7 @@ def path_ratio(bench: str, use_cache: bool = True) -> float:
     key = _cache_key(kind="path_ratio", bench=bench)
     if use_cache:
         cached = _cache_load(key)
-        if cached is not None:
+        if cached is not None and isinstance(cached.get("ratio"), float):
             return cached["ratio"]
     ratio = measure_path_length(lambda: build_benchmark(bench)).ratio
     if use_cache:

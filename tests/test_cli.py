@@ -47,6 +47,12 @@ class TestCli:
                 [cmd] + (["--scale", "0.2"]))
             assert callable(args.fn)
 
+    def test_figure_commands_accept_workers(self):
+        parser = build_parser()
+        args = parser.parse_args(["fig4", "--workers", "4",
+                                  "--timeout", "60"])
+        assert args.workers == 4 and args.timeout == 60.0
+
     def test_table2_command(self, capsys):
         assert main(["table2"]) == 0
         out = capsys.readouterr().out
@@ -69,3 +75,53 @@ class TestCsvExport:
         assert out.exists()
         text = out.read_text()
         assert "vca-rw" in text and "series" in text
+
+
+class TestSweepCommand:
+    ARGS = ["sweep", "rw", "--models", "baseline", "--sizes", "256",
+            "--bench", "gzip_graphic", "--scale", "0.05", "--quiet"]
+
+    def test_sweep_runs_and_resumes(self, capsys, tmp_path,
+                                    monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "cache"))
+        journal = tmp_path / "sweep.jsonl"
+        csv_out = tmp_path / "out.csv"
+        args = self.ARGS + ["--journal", str(journal),
+                            "--csv", str(csv_out)]
+        assert main(args) == 0
+        out = capsys.readouterr().out
+        assert "executed 1" in out
+        assert journal.exists() and csv_out.exists()
+        assert "status,kind,model" in csv_out.read_text()
+
+        # --resume replays the journal: zero points execute, even
+        # with the result cache disabled.
+        assert main(args + ["--resume", "--no-cache"]) == 0
+        out = capsys.readouterr().out
+        assert "executed 0" in out and "resumed" in out
+
+    def test_sweep_figure_plan_renders_series(self, capsys, tmp_path,
+                                              monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "cache"))
+        assert main(["sweep", "fig4", "--bench", "gzip_graphic",
+                     "--sizes", "256", "--scale", "0.05",
+                     "--quiet"]) == 0
+        out = capsys.readouterr().out
+        assert "fig4 series" in out and "vca-rw" in out
+
+    def test_sweep_rejects_unknown_model(self):
+        with pytest.raises(SystemExit):
+            main(["sweep", "rw", "--models", "nonexistent"])
+
+    def test_sweep_failure_sets_exit_code(self, capsys, tmp_path,
+                                          monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "cache"))
+        import repro.experiments.runner as runner
+
+        def boom(*args, **kwargs):
+            raise RuntimeError("kaboom")
+
+        monkeypatch.setattr(runner, "run_point", boom)
+        assert main(self.ARGS) == 1
+        out = capsys.readouterr().out
+        assert "failed" in out and "kaboom" in out

@@ -1,7 +1,9 @@
 """Tests for the register-window experiment drivers (reduced scale)."""
 
+from repro.experiments.engine import ParallelEngine
 from repro.experiments.rw import (
-    REG_SIZES, RW_MODELS, fig4_execution_time, rw_sweep,
+    REG_SIZES, RW_MODELS, fig4_execution_time, fig4_plan, rw_plan,
+    rw_sweep,
 )
 
 SUB = ("gzip_graphic",)
@@ -34,3 +36,20 @@ class TestRwSweep:
 
     def test_reg_sizes_match_paper(self):
         assert REG_SIZES == (64, 128, 192, 256)
+
+    def test_parallel_engine_matches_serial(self):
+        kwargs = dict(models=("baseline", "vca-rw"), sizes=(128, 256),
+                      benches=SUB, scale=SCALE)
+        serial = rw_sweep(**kwargs)
+        parallel = rw_sweep(engine=ParallelEngine(workers=2), **kwargs)
+        assert serial == parallel
+
+    def test_plan_expansion_covers_grid_once(self):
+        plan = rw_plan(models=("baseline",), sizes=(128, 256),
+                       benches=SUB, scale=SCALE)
+        assert plan.size == 2
+        # A figure plan adds normalisation references, deduped against
+        # any overlapping grid point.
+        fig = fig4_plan(benches=SUB, sizes=(256,), scale=SCALE)
+        assert fig.size == len(RW_MODELS) * 1  # ref == baseline@256
+        assert fig.reduce is not None
