@@ -14,6 +14,8 @@ Commands mirror the paper's evaluation:
 * ``disasm`` — disassemble a generated benchmark binary.
 * ``trace`` — render a JSONL event trace (from ``run --trace-out``)
   as a per-instruction pipeline view.
+* ``profile`` — where simulation wall-clock time goes: per-stage
+  attribution plus cProfile hot functions.
 
 Figure commands accept ``--workers N`` to run their plan on the
 parallel engine; ``sweep`` exposes the full engine surface.
@@ -83,6 +85,99 @@ def _cmd_run(args) -> int:
                                ports=args.ports, scale=args.scale,
                                seed=args.seed)
         print(f"stats: wrote {out}")
+    return 0
+
+
+def _cmd_profile(args) -> int:
+    """Where does simulation wall-clock time go?
+
+    Two passes over the same configuration: a clean timing pass with
+    per-stage wall-clock attribution (repro.obs.profile), then —
+    unless ``--top 0`` — a second pass under cProfile for per-function
+    hot spots.  Two passes because cProfile's tracing overhead would
+    distort the stage timings and the cycles/sec headline.
+    """
+    import cProfile
+    import pstats
+
+    from repro.obs import MetricsRegistry, profile_machine
+    from repro.workloads.generator import benchmark_program
+
+    benches = args.bench_pos or args.bench
+    abi = model_abi(args.model)
+
+    def machine():
+        programs = [benchmark_program(b, abi, thread=i,
+                                      scale=args.scale, seed=args.seed)
+                    for i, b in enumerate(benches)]
+        cfg = MachineConfig.baseline(phys_regs=args.regs,
+                                     dl1_ports=args.ports)
+        return build_machine(args.model, cfg, programs)
+
+    registry = MetricsRegistry()
+    stats, prof = profile_machine(machine(),
+                                  stop_at_first_halt=len(benches) > 1,
+                                  registry=registry)
+    cps = stats.cycles / prof.total_seconds if prof.total_seconds else 0
+    attributed = prof.cycle_attribution(stats.cycles)
+
+    top = []
+    if args.top > 0:
+        profiler = cProfile.Profile()
+        m2 = machine()
+        profiler.enable()
+        m2.run(stop_at_first_halt=len(benches) > 1)
+        profiler.disable()
+        st = pstats.Stats(profiler)
+        st.sort_stats("cumulative")
+        for func, (cc, nc, tt, ct, _callers) in st.stats.items():
+            filename, lineno, name = func
+            top.append({"function": name, "file": filename,
+                        "line": lineno, "calls": nc,
+                        "tottime": tt, "cumtime": ct})
+        top.sort(key=lambda r: r["tottime"], reverse=True)
+        top = top[:args.top]
+
+    print(f"model={args.model} benches={','.join(benches)} "
+          f"regs={args.regs} ports={args.ports} scale={args.scale}")
+    print(f"cycles={stats.cycles}  wall={prof.total_seconds:.3f}s  "
+          f"{cps:,.0f} cycles/sec")
+    print()
+    print(f"{'stage':<16}{'seconds':>10}{'share':>8}{'cycles est':>12}")
+    stage_total = prof.stage_seconds_total
+    for label, entry in prof.to_dict(stats.cycles)["stages"].items():
+        secs = entry["seconds"]
+        share = secs / stage_total if stage_total else 0
+        print(f"{label:<16}{secs:>10.3f}{share:>7.1%}"
+              f"{attributed[label]:>12.1f}")
+    if top:
+        print()
+        print(f"{'tottime':>9}{'cumtime':>9}{'calls':>10}  function")
+        for r in top:
+            print(f"{r['tottime']:>9.3f}{r['cumtime']:>9.3f}"
+                  f"{r['calls']:>10}  {r['function']} "
+                  f"({r['file']}:{r['line']})")
+
+    if args.json:
+        import json as _json
+        from repro.experiments.export import (
+            PROFILE_SCHEMA, SCHEMA_VERSION)
+        payload = {
+            "schema": PROFILE_SCHEMA,
+            "schema_version": SCHEMA_VERSION,
+            "model": args.model, "benches": list(benches),
+            "regs": args.regs, "ports": args.ports,
+            "scale": args.scale, "seed": args.seed,
+            "cycles": stats.cycles, "committed": stats.committed,
+            "cycles_per_sec": cps,
+            "profile": prof.to_dict(stats.cycles),
+            "metrics": registry.to_dict(),
+            "top_functions": top,
+        }
+        from pathlib import Path
+        Path(args.json).write_text(
+            _json.dumps(payload, indent=2, sort_keys=True))
+        print(f"\nprofile: wrote {args.json}")
     return 0
 
 
@@ -362,6 +457,28 @@ def build_parser() -> argparse.ArgumentParser:
     sw.add_argument("--quiet", action="store_true",
                     help="suppress the live progress line")
     sw.set_defaults(fn=_cmd_sweep)
+
+    prof = sub.add_parser(
+        "profile",
+        help="profile a run: per-stage wall-clock attribution "
+             "and cProfile hot functions")
+    prof.add_argument("bench_pos", nargs="*", metavar="BENCH",
+                      help="benchmarks, one per hardware thread "
+                           "(same as --bench)")
+    prof.add_argument("--model", choices=sorted(MODELS),
+                      default="vca-rw")
+    prof.add_argument("--bench", nargs="+", default=["gzip_graphic"],
+                      metavar="NAME")
+    prof.add_argument("--regs", type=int, default=256)
+    prof.add_argument("--ports", type=int, default=2)
+    prof.add_argument("--scale", type=float, default=1.0)
+    prof.add_argument("--seed", type=int, default=None)
+    prof.add_argument("--top", type=int, default=10, metavar="N",
+                      help="cProfile functions to show "
+                           "(0: skip the cProfile pass)")
+    prof.add_argument("--json", metavar="PATH", default=None,
+                      help="also write the profile record as JSON")
+    prof.set_defaults(fn=_cmd_profile)
 
     dis = sub.add_parser("disasm", help="disassemble a benchmark")
     dis.add_argument("--bench", nargs=1, default=["gzip_graphic"])

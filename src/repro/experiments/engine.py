@@ -68,6 +68,7 @@ class PointOutcome:
 
     @property
     def ok(self) -> bool:
+        """True when a payload is available (done/cached/resumed)."""
         return self.status in _OK_STATUSES
 
     def result(self) -> Any:
@@ -97,6 +98,7 @@ class SweepProgress:
 
     @property
     def completed(self) -> int:
+        """Points resolved so far, by any route including failure."""
         return (self.done + self.cached + self.resumed + self.failed
                 + self.timeout)
 
@@ -190,6 +192,9 @@ class _EngineBase:
             metrics.set("sweep.points.total", len(pts))
 
         def emit(outcome: PointOutcome) -> None:
+            """Record one resolved point: outcome map, progress/ETA,
+            journal line, metrics — the single bookkeeping path every
+            engine's ``_execute`` reports through."""
             outcomes[outcome.point] = outcome
             setattr(prog, outcome.status,
                     getattr(prog, outcome.status) + 1)

@@ -17,6 +17,23 @@ from typing import Dict, Optional, Tuple
 
 from repro.pipeline.stats import SimStats
 
+#: Version stamped into every exported artifact.  Bump when a field is
+#: renamed/removed or its meaning changes; adding fields is not a
+#: version bump (readers must tolerate unknown keys).
+SCHEMA_VERSION = 1
+#: ``schema`` value of a ``repro run --json`` record.
+STATS_SCHEMA = "repro.run-stats"
+#: ``schema`` value of each ``repro sweep --csv`` row.
+OUTCOMES_SCHEMA = "repro.sweep-outcomes"
+#: ``schema`` value of a ``repro profile --json`` record.
+PROFILE_SCHEMA = "repro.profile"
+
+
+def schema_tag(schema: str) -> str:
+    """The compact ``<schema>/v<version>`` form used in CSV cells."""
+    return f"{schema}/v{SCHEMA_VERSION}"
+
+
 #: ``SimStats.to_dict`` keys the experiment runner's ``RunResult``
 #: shares verbatim — the one place the overlap is defined, so run
 #: artifacts and the stats schema cannot drift apart.
@@ -35,16 +52,35 @@ def run_stat_fields(stats: SimStats) -> Dict:
 
 def write_stats_json(path: str, stats: SimStats, **meta) -> Path:
     """Write one run's full statistics record (plus ``meta`` labels
-    such as model/bench names) as JSON; returns the Path written."""
+    such as model/bench names) as JSON; returns the Path written.
+
+    The record carries ``schema``/``schema_version`` identification
+    (see ``docs/experiments.md``) so downstream tooling can detect
+    what it is reading without guessing from the filename.
+    """
     out = Path(path)
-    payload = {**meta, "stats": stats.to_dict()}
+    payload = {"schema": STATS_SCHEMA, "schema_version": SCHEMA_VERSION,
+               **meta, "stats": stats.to_dict()}
     out.write_text(json.dumps(payload, indent=2, sort_keys=True))
     return out
 
 
 def read_stats_json(path: str) -> Tuple[Dict, SimStats]:
-    """Inverse of :func:`write_stats_json`: (meta, SimStats)."""
+    """Inverse of :func:`write_stats_json`: (meta, SimStats).
+
+    Validates and strips the schema identification, so ``meta`` holds
+    only the caller-supplied labels.  Pre-schema files (no ``schema``
+    key) are accepted for backwards compatibility.
+    """
     payload = json.loads(Path(path).read_text())
+    schema = payload.pop("schema", STATS_SCHEMA)
+    version = payload.pop("schema_version", SCHEMA_VERSION)
+    if schema != STATS_SCHEMA:
+        raise ValueError(f"{path}: not a {STATS_SCHEMA} record "
+                         f"(schema={schema!r})")
+    if version > SCHEMA_VERSION:
+        raise ValueError(f"{path}: schema_version {version} is newer "
+                         f"than supported ({SCHEMA_VERSION})")
     stats = SimStats.from_dict(payload.pop("stats"))
     return payload, stats
 
@@ -69,10 +105,12 @@ def write_series_csv(path: str, x_name: str,
 
 
 #: Per-point columns of a sweep-outcome CSV (``repro sweep --csv``).
+#: ``schema`` carries the ``repro.sweep-outcomes/v1`` tag on every row
+#: (CSV has no header metadata, so the tag rides in a column).
 OUTCOME_FIELDS: Tuple[str, ...] = (
     "status", "kind", "model", "benches", "phys_regs", "dl1_ports",
     "scale", "elapsed", "cycles", "ipc", "dl1_accesses", "unrunnable",
-    "error", "key",
+    "error", "key", "schema",
 )
 
 
@@ -81,11 +119,13 @@ def write_outcomes_csv(path: str, outcomes) -> Path:
     execution engine) — the raw-grid counterpart of
     :func:`write_series_csv`."""
     out = Path(path)
+    tag = schema_tag(OUTCOMES_SCHEMA)
     with out.open("w", newline="") as fh:
         writer = csv.DictWriter(fh, fieldnames=OUTCOME_FIELDS)
         writer.writeheader()
         for point, oc in outcomes.items():
             row = {
+                "schema": tag,
                 "status": oc.status, "kind": point.kind,
                 "model": point.model,
                 "benches": "+".join(point.benches) or point.bench,

@@ -111,6 +111,8 @@ class Point:
         return f"probe/{self.bench}"
 
     def to_dict(self) -> Dict[str, Any]:
+        """JSON form for journals and worker pipes (round-trips
+        through :meth:`from_dict`)."""
         return {"kind": self.kind, "model": self.model,
                 "benches": list(self.benches),
                 "phys_regs": self.phys_regs,
@@ -119,6 +121,8 @@ class Point:
 
     @classmethod
     def from_dict(cls, d: Mapping[str, Any]) -> "Point":
+        """Inverse of :meth:`to_dict`; equal parameters reconstruct
+        an equal (and equally hashable) point."""
         return cls(kind=d["kind"], model=d["model"],
                    benches=tuple(d["benches"]),
                    phys_regs=d["phys_regs"], dl1_ports=d["dl1_ports"],
@@ -242,6 +246,16 @@ class SweepSpec:
               extra: Iterable[Point] = (),
               reduce: Optional[Callable] = None,
               **base: Any) -> "SweepSpec":
+        """Convenience constructor from plain mappings.
+
+        ``axes`` maps axis name → iterable of values (expanded
+        last-axis-fastest); remaining keyword arguments become the
+        ``base`` parameters shared by every point; ``extra`` points
+        are appended verbatim (e.g. normalisation references);
+        ``reduce`` turns the finished ``{Point: value}`` map into the
+        sweep's payload.  Empty axes are rejected here — at plan
+        build time — rather than surfacing as a silently empty sweep.
+        """
         axes_t = tuple((k, tuple(v)) for k, v in (axes or {}).items())
         for k, values in axes_t:
             if not values:

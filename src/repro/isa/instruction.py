@@ -16,7 +16,18 @@ from .opcodes import (
     COND_BRANCH_OPS, CONTROL_OPS, FP_ARITH_OPS, FP_UNIT_OPS, INT_RI_OPS,
     INT_RR_OPS, LOAD_OPS, LONG_INT_OPS, MEM_OPS, STORE_OPS, Op,
 )
-from .registers import RA_REG, ZERO_REG, reg_name
+from .registers import (
+    RA_REG, ZERO_REG, global_slot, is_windowed, reg_name, window_slot,
+)
+
+#: Control-transfer kinds consulted by the fetch stage (plain integer
+#: compares are cheaper than an opcode chain on the per-fetch path).
+CTRL_NONE = 0
+CTRL_COND = 1
+CTRL_BR = 2
+CTRL_CALL = 3
+CTRL_RET = 4
+CTRL_JMP = 5
 
 
 class Instruction:
@@ -35,7 +46,12 @@ class Instruction:
     __slots__ = ("op", "rd", "rs1", "rs2", "imm", "target",
                  "is_load", "is_store", "is_mem", "is_branch",
                  "is_cond_branch", "is_call", "is_ret", "is_fp_unit",
-                 "latency_class")
+                 "latency_class",
+                 # Interned decode state: static per-instruction facts
+                 # the timing model would otherwise recompute on every
+                 # dynamic instance of the instruction.
+                 "is_halt", "is_simple", "ctrl_kind", "srcs", "dest_reg",
+                 "vca_srcs", "vca_dest", "exec_fn")
 
     def __init__(self, op: Op, rd: Optional[int] = None,
                  rs1: Optional[int] = None, rs2: Optional[int] = None,
@@ -65,6 +81,45 @@ class Instruction:
         else:
             self.latency_class = "int"
         self._validate()
+        self._intern_decode()
+
+    def _intern_decode(self) -> None:
+        """Precompute the decode facts the pipeline and rename engines
+        consult per dynamic instance.  Instructions are immutable and
+        shared between all of their dynamic instances, so one decode at
+        assembly time replaces millions of re-decodes in the cycle loop.
+        """
+        op = self.op
+        self.is_halt = op is Op.HALT
+        self.is_simple = op is Op.NOP or op is Op.HALT
+        if self.is_cond_branch:
+            self.ctrl_kind = CTRL_COND
+        elif op is Op.BR:
+            self.ctrl_kind = CTRL_BR
+        elif self.is_call:
+            self.ctrl_kind = CTRL_CALL
+        elif self.is_ret:
+            self.ctrl_kind = CTRL_RET
+        elif op is Op.JMP:
+            self.ctrl_kind = CTRL_JMP
+        else:
+            self.ctrl_kind = CTRL_NONE
+        self.srcs = tuple(r for r in (self.rs1, self.rs2)
+                          if r is not None and r != ZERO_REG)
+        self.dest_reg = None if self.rd == ZERO_REG else self.rd
+        # VCA operand views: (arch reg, windowed?, byte offset within
+        # the frame) — the engine adds the thread's base pointer.
+        self.vca_srcs = tuple(
+            (r, is_windowed(r),
+             (window_slot(r) if is_windowed(r) else global_slot(r)) * 8)
+            for r in self.srcs)
+        d = self.dest_reg
+        self.vca_dest = None if d is None else (
+            is_windowed(d),
+            (window_slot(d) if is_windowed(d) else global_slot(d)) * 8)
+        #: Specialized executor closure, built lazily by
+        #: :func:`repro.pipeline.alu.execute` on first execution.
+        self.exec_fn = None
 
     # ------------------------------------------------------------------
     def _validate(self) -> None:
@@ -86,11 +141,7 @@ class Instruction:
     # -- operand views used by rename ----------------------------------
     def sources(self) -> Tuple[int, ...]:
         """Architectural source registers, zero-register reads excluded."""
-        srcs = []
-        for r in (self.rs1, self.rs2):
-            if r is not None and r != ZERO_REG:
-                srcs.append(r)
-        return tuple(srcs)
+        return self.srcs
 
     def dest(self) -> Optional[int]:
         """Architectural destination register, or ``None``.
@@ -98,9 +149,7 @@ class Instruction:
         Writes to the hard-wired zero register are discarded and
         therefore report no destination.
         """
-        if self.rd == ZERO_REG:
-            return None
-        return self.rd
+        return self.dest_reg
 
     # ------------------------------------------------------------------
     def __repr__(self) -> str:  # pragma: no cover - debug aid

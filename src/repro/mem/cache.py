@@ -64,38 +64,43 @@ class Cache:
         self._set_mask = n_sets - 1
         if n_sets & self._set_mask:
             raise ValueError("number of sets must be a power of two")
+        self._idx_bits = self._set_mask.bit_length()
         self._block_shift = cfg.block_bytes.bit_length() - 1
         if (1 << self._block_shift) != cfg.block_bytes:
             raise ValueError("block size must be a power of two")
+        self._hit_latency = cfg.hit_latency
+        self._assoc = cfg.assoc
         # Each set: ordered list of [tag, dirty]; index 0 = MRU.
         self._sets: List[List[List]] = [[] for _ in range(n_sets)]
 
     # ------------------------------------------------------------------
     def access(self, addr: int, write: bool, kind: str = "load") -> int:
         """Access one byte address; returns the observed latency."""
-        self.stats.accesses += 1
-        self.stats.count(kind)
+        stats = self.stats
+        stats.accesses += 1
+        by_kind = stats.by_kind
+        by_kind[kind] = by_kind.get(kind, 0) + 1
         block = addr >> self._block_shift
         idx = block & self._set_mask
-        tag = block >> (self._set_mask.bit_length())
+        tag = block >> self._idx_bits
         ways = self._sets[idx]
         for i, entry in enumerate(ways):
             if entry[0] == tag:
-                self.stats.hits += 1
+                stats.hits += 1
                 if i:
                     ways.insert(0, ways.pop(i))
                 if write:
                     ways[0][1] = True
-                return self.cfg.hit_latency
+                return self._hit_latency
         # Miss: fetch from below (write-allocate).
-        self.stats.misses += 1
-        self.stats.count_miss(kind)
+        stats.misses += 1
+        stats.count_miss(kind)
         below = (self.next_level.access(addr, write=False, kind=kind)
                  if self.next_level is not None else self.mem_latency)
-        if len(ways) >= self.cfg.assoc:
+        if len(ways) >= self._assoc:
             victim = ways.pop()
             if victim[1]:
-                self.stats.writebacks += 1
+                stats.writebacks += 1
                 if self.next_level is not None:
                     # Write-back traffic; latency hidden by the write
                     # buffer but the next level still sees the access.
@@ -103,10 +108,10 @@ class Cache:
                         self._rebuild_addr(victim[0], idx), write=True,
                         kind="writeback")
         ways.insert(0, [tag, write])
-        return self.cfg.hit_latency + below
+        return self._hit_latency + below
 
     def _rebuild_addr(self, tag: int, idx: int) -> int:
-        return ((tag << self._set_mask.bit_length()) | idx) << self._block_shift
+        return ((tag << self._idx_bits) | idx) << self._block_shift
 
     def install(self, addr: int) -> None:
         """Insert ``addr``'s block as clean without counting stats.

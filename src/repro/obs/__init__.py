@@ -1,14 +1,16 @@
-"""Observability: pipeline event tracing and structured metrics.
+"""Observability: tracing, structured metrics, and stage profiling.
 
 The simulator's hot layers carry lightweight instrumentation hooks
 that are inert by default (``NULL_TRACER`` / no registry) and activate
 when a run is built with a live :class:`Tracer` or
 :class:`MetricsRegistry` — see ``docs/observability.md`` for the event
-schema and usage.
+schema and usage.  :mod:`repro.obs.profile` adds per-stage wall-clock
+attribution on top (``repro profile``).
 """
 
 from .metrics import Histogram, MetricsRegistry
 from .pipeview import render_pipeline_view
+from .profile import STAGES, StageProfile, profile_machine
 from .trace import (
     JsonlSink, NULL_TRACER, RingBufferSink, Tracer, build_tracer,
     read_jsonl,
@@ -18,4 +20,5 @@ __all__ = [
     "Histogram", "MetricsRegistry", "render_pipeline_view",
     "JsonlSink", "NULL_TRACER", "RingBufferSink", "Tracer",
     "build_tracer", "read_jsonl",
+    "STAGES", "StageProfile", "profile_machine",
 ]

@@ -47,6 +47,7 @@ class Histogram:
         self._cap = max_samples
 
     def record(self, value: float) -> None:
+        """Add one observation (O(1) amortised, bounded memory)."""
         self.count += 1
         self.total += value
         if self.min is None or value < self.min:
@@ -63,6 +64,7 @@ class Histogram:
 
     @property
     def mean(self) -> float:
+        """Exact mean of every recorded value (0.0 when empty)."""
         return self.total / self.count if self.count else 0.0
 
     def percentile(self, p: float) -> float:
@@ -81,6 +83,7 @@ class Histogram:
         return xs[lo] * (1 - frac) + xs[hi] * frac
 
     def to_dict(self) -> Dict:
+        """Summary for export: exact moments + p50/p90/p99."""
         return {
             "count": self.count,
             "mean": self.mean,
@@ -105,16 +108,20 @@ class MetricsRegistry:
 
     # -- counters ----------------------------------------------------------
     def inc(self, name: str, n: float = 1) -> None:
+        """Add ``n`` to counter ``name`` (created at 0 on first use)."""
         self.counters[name] = self.counters.get(name, 0) + n
 
     def set(self, name: str, value: float) -> None:
+        """Overwrite counter ``name`` (end-of-run absolute values)."""
         self.counters[name] = value
 
     def get(self, name: str) -> float:
+        """Current value of counter ``name`` (0 if never touched)."""
         return self.counters.get(name, 0)
 
     # -- distributions ------------------------------------------------------
     def dist(self, name: str) -> Histogram:
+        """The :class:`Histogram` named ``name``, created on demand."""
         h = self.dists.get(name)
         if h is None:
             h = self.dists[name] = Histogram(name)
@@ -141,6 +148,8 @@ class MetricsRegistry:
 
     # -- export ------------------------------------------------------------
     def to_dict(self) -> Dict:
+        """The full registry dump: counters, distribution summaries
+        and snapshots — what lands in ``SimStats.metrics``."""
         return {
             "counters": dict(self.counters),
             "dists": {n: h.to_dict() for n, h in self.dists.items()},

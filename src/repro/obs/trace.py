@@ -56,6 +56,7 @@ class RingBufferSink(TraceSink):
         self.total = 0
 
     def write(self, event: Dict) -> None:
+        """Record ``event``, evicting the oldest if at capacity."""
         if len(self._buf) == self.capacity:
             self.dropped += 1
         self.total += 1
@@ -63,6 +64,7 @@ class RingBufferSink(TraceSink):
 
     @property
     def events(self) -> List[Dict]:
+        """The retained events, oldest first (a copy)."""
         return list(self._buf)
 
     def __len__(self) -> int:
@@ -78,11 +80,13 @@ class JsonlSink(TraceSink):
         self.written = 0
 
     def write(self, event: Dict) -> None:
+        """Append ``event`` as one compact JSON line."""
         self._fh.write(json.dumps(event, separators=(",", ":")))
         self._fh.write("\n")
         self.written += 1
 
     def close(self) -> None:
+        """Close the file; further writes are an error (idempotent)."""
         if self._fh is not None:
             self._fh.close()
             self._fh = None
@@ -99,6 +103,9 @@ class Tracer:
         self.enabled = enabled and bool(self.sinks)
 
     def emit(self, cycle: int, tid: int, kind: str, **fields) -> None:
+        """Record one event (no-op when disabled).  ``fields`` are the
+        kind-specific keys of the event schema; callers should guard
+        with ``if tracer.enabled`` so no dict is built when off."""
         if not self.enabled:
             return
         event = {"cycle": cycle, "tid": tid, "kind": kind}
@@ -108,6 +115,7 @@ class Tracer:
             sink.write(event)
 
     def close(self) -> None:
+        """Close every sink (flushes JSONL files)."""
         for sink in self.sinks:
             sink.close()
 

@@ -75,6 +75,71 @@ _BRANCH_COND = {
 }
 
 
+#: Aligned-64-bit address clamp applied to every effective address.
+_ADDR_MASK = MASK64 & ~7
+
+
+def _build_exec(ins: Instruction):
+    """Build the specialized executor closure for one static instruction.
+
+    This is the interned ALU-dispatch cache: the opcode-class dispatch
+    (four dict probes plus an if-chain in the worst case) runs once per
+    *static* instruction, and every dynamic execution afterwards is a
+    single stored-closure call.  Immediates and branch targets are
+    captured at build time, so the closure touches the instruction not
+    at all.
+    """
+    op = ins.op
+    fn = _INT_RR.get(op)
+    if fn is not None:
+        return lambda v1, v2, pc, _f=fn: ExecResult(result=_f(v1, v2))
+    fn = _INT_RI.get(op)
+    if fn is not None:
+        return lambda v1, v2, pc, _f=fn, _i=ins.imm: \
+            ExecResult(result=_f(v1, _i))
+    fn = _FP_RR.get(op)
+    if fn is not None:
+        return lambda v1, v2, pc, _f=fn: ExecResult(result=_f(v1, v2))
+    cond = _BRANCH_COND.get(op)
+    if cond is not None:
+        def _branch(v1, v2, pc, _c=cond, _t=ins.target):
+            taken = _c(v1)
+            return ExecResult(taken=taken,
+                              target=_t if taken else pc + 1)
+        return _branch
+    if op is Op.LDI:
+        return lambda v1, v2, pc, _r=ins.imm & MASK64: ExecResult(result=_r)
+    if ins.is_load:
+        return lambda v1, v2, pc, _i=ins.imm: \
+            ExecResult(mem_addr=(int(v1) + _i) & _ADDR_MASK)
+    if ins.is_store:
+        return lambda v1, v2, pc, _i=ins.imm: \
+            ExecResult(mem_addr=(int(v1) + _i) & _ADDR_MASK, store_val=v2)
+    if op is Op.BR:
+        return lambda v1, v2, pc, _t=ins.target: \
+            ExecResult(taken=True, target=_t)
+    if op is Op.CALL:
+        return lambda v1, v2, pc, _t=ins.target: \
+            ExecResult(result=pc + 1, taken=True, target=_t)
+    if op is Op.RET or op is Op.JMP:
+        return lambda v1, v2, pc: \
+            ExecResult(taken=True, target=int(v1) & MASK64)
+    if op is Op.FMOV:
+        return lambda v1, v2, pc: ExecResult(result=v1)
+    if op is Op.ITOF:
+        return lambda v1, v2, pc: ExecResult(result=float(to_signed(int(v1))))
+    if op is Op.FTOI:
+        def _ftoi(v1, v2, pc):
+            try:
+                return ExecResult(result=int(v1) & MASK64)
+            except (OverflowError, ValueError):  # inf/nan convert to zero
+                return ExecResult(result=0)
+        return _ftoi
+    if op is Op.NOP or op is Op.HALT:
+        return lambda v1, v2, pc: ExecResult()
+    raise NotImplementedError(f"opcode {op}")  # pragma: no cover
+
+
 def execute(ins: Instruction, v1: float, v2: float, pc: int) -> ExecResult:
     """Execute ``ins`` with source values ``v1``/``v2`` at ``pc``.
 
@@ -82,43 +147,7 @@ def execute(ins: Instruction, v1: float, v2: float, pc: int) -> ExecResult:
     data from the LSQ or the cache.  Memory addresses are clamped to
     aligned 64-bit values so wrong-path execution can never fault.
     """
-    op = ins.op
-    fn = _INT_RR.get(op)
-    if fn is not None:
-        return ExecResult(result=fn(v1, v2))
-    fn = _INT_RI.get(op)
-    if fn is not None:
-        return ExecResult(result=fn(v1, ins.imm))
-    fn = _FP_RR.get(op)
-    if fn is not None:
-        return ExecResult(result=fn(v1, v2))
-    cond = _BRANCH_COND.get(op)
-    if cond is not None:
-        taken = cond(v1)
-        return ExecResult(taken=taken,
-                          target=ins.target if taken else pc + 1)
-    if op is Op.LDI:
-        return ExecResult(result=ins.imm & MASK64)
-    if ins.is_load:
-        return ExecResult(mem_addr=(int(v1) + ins.imm) & MASK64 & ~7)
-    if ins.is_store:
-        return ExecResult(mem_addr=(int(v1) + ins.imm) & MASK64 & ~7,
-                          store_val=v2)
-    if op is Op.BR:
-        return ExecResult(taken=True, target=ins.target)
-    if op is Op.CALL:
-        return ExecResult(result=pc + 1, taken=True, target=ins.target)
-    if op is Op.RET or op is Op.JMP:
-        return ExecResult(taken=True, target=int(v1) & MASK64)
-    if op is Op.FMOV:
-        return ExecResult(result=v1)
-    if op is Op.ITOF:
-        return ExecResult(result=float(to_signed(int(v1))))
-    if op is Op.FTOI:
-        try:
-            return ExecResult(result=int(v1) & MASK64)
-        except (OverflowError, ValueError):  # inf/nan convert to zero
-            return ExecResult(result=0)
-    if op is Op.NOP or op is Op.HALT:
-        return ExecResult()
-    raise NotImplementedError(f"opcode {op}")  # pragma: no cover
+    fn = ins.exec_fn
+    if fn is None:
+        fn = ins.exec_fn = _build_exec(ins)
+    return fn(v1, v2, pc)

@@ -23,19 +23,20 @@ retirement-map recovery of Section 2.1.3.
 
 from __future__ import annotations
 
-import heapq
 from collections import deque
+from heapq import heappop, heappush
+from operator import attrgetter
 from typing import Dict, List, Optional
 
 from repro.asm.program import Program
 from repro.config import MachineConfig
 from repro.frontend.branch import HybridPredictor
-from repro.isa.opcodes import Op
+from repro.isa.instruction import CTRL_BR, CTRL_CALL, CTRL_COND, CTRL_RET
 from repro.mem.hierarchy import MemoryHierarchy
 from repro.obs import NULL_TRACER
 from repro.rename.base import RenameEngine
 
-from .alu import execute
+from .alu import _build_exec
 from .dyninst import DynInst
 from .stats import SimStats, ThreadStats
 
@@ -59,6 +60,11 @@ _ASTQ_AGE_PRIORITY = 8
 
 #: Fetch-buffer capacity in instructions (fetch stalls beyond this).
 _FETCH_BUFFER = 16
+
+#: Maximum retired/dropped DynInst instances kept for recycling.
+_DYNINST_POOL = 512
+
+_SEQ_KEY = attrgetter("seq")
 
 
 class ThreadState:
@@ -139,6 +145,27 @@ class Pipeline:
         # (Figure 1, stage R2), the ideal machine does not.
         self._front_latency = (cfg.pipeline_depth - 3
                                + (1 if engine.extra_rename_stage else 0))
+        # The front queue holds both in-transit front-end stage latches
+        # (width x front-latency instructions) and the fetch buffer
+        # proper; only the latter is bounded, so the ceiling must not
+        # penalise deeper front ends.
+        self._front_cap = _FETCH_BUFFER + cfg.width * self._front_latency
+        self._n_threads = cfg.n_threads
+        # Per-cycle constants, bound once instead of per stage call.
+        self._width = cfg.width
+        self._int_alus = cfg.int_alus
+        self._fp_units = cfg.fp_units
+        self._dl1_ports = hierarchy.dl1_ports
+        self._il1_access = hierarchy.il1.access
+        self._halted_count = 0
+        self._astq = engine.astq
+        # Retired/dropped DynInst instances recycled by fetch; only
+        # instructions guaranteed unreferenced (committed, or dropped
+        # before rename) ever enter the pool.
+        self._pool: List[DynInst] = []
+        # _pending_loads is kept seq-sorted lazily: appends mark the
+        # list dirty instead of re-sorting per instruction.
+        self._loads_dirty = False
         # SMT shares the ROB in static per-thread partitions (Raasch &
         # Reinhardt, the paper's own workload-methodology citation,
         # found partitioning best): one stalled thread cannot balloon
@@ -156,15 +183,16 @@ class Pipeline:
     # ==================================================================
     def run(self, stop_at_first_halt: bool = False) -> SimStats:
         """Simulate until completion; returns the statistics."""
+        n_threads = self._n_threads
+        max_cycles = self.cfg.max_cycles
         while True:
-            if stop_at_first_halt and any(t.halted for t in self.threads):
-                break
-            if all(t.halted for t in self.threads):
+            halted = self._halted_count
+            if halted and (stop_at_first_halt or halted == n_threads):
                 break
             self.step()
-            if self.cycle > self.cfg.max_cycles:
+            if self.cycle > max_cycles:
                 raise DeadlockError(
-                    f"exceeded max_cycles={self.cfg.max_cycles}")
+                    f"exceeded max_cycles={max_cycles}")
             if self.cycle - self._last_commit > _DEADLOCK_WINDOW:
                 raise DeadlockError(
                     f"no commit since cycle {self._last_commit} "
@@ -220,32 +248,17 @@ class Pipeline:
     # one cycle
     # ==================================================================
     def step(self) -> None:
+        # Each stage is a separate method looked up through ``self`` so
+        # the profiler (repro.obs.profile) can wrap the stage bound
+        # methods on one instance without subclassing.
         now = self.cycle
         self.hierarchy.begin_cycle()
         self.engine.begin_cycle()
-
-        for event in self._wheel.pop(now, ()):  # writeback / completions
-            kind = event[0]
-            if kind == "exec":
-                self._complete_exec(event[1])
-            elif kind == "loaddata":
-                self._complete_load(event[1], from_forward=False)
-            elif kind == "fwd":
-                self._complete_load(event[1], from_forward=True)
-            elif kind == "trapload":
-                _, lidx, addr = event
-                self._trap_outstanding -= 1
-                self.engine.apply_trap_load(
-                    lidx, self.hierarchy.read_word(addr))
-            elif kind == "trapstore":
-                self._trap_outstanding -= 1
-
-        astq = self.engine.astq
-        if astq is not None:
-            astq.tick(now, self._wakeup)
-
+        self._writeback(now)
         self._commit(now)
-        self._trap_sequencer(now)
+        if (self._trap_phase is not None
+                or self.engine.trap_request is not None):
+            self._trap_sequencer(now)
         m = self.metrics
         if m is None:
             self._rename_dispatch(now)
@@ -261,106 +274,178 @@ class Pipeline:
                     self._stall_run = 0
             elif any(q and q[0][0] <= now for q in self.front):
                 self._stall_run += 1
-        # An ASTQ head that has starved behind program memory traffic
-        # is promoted ahead of this cycle's loads (see ASTQ.head_age).
-        if astq is not None and astq.head_age() > _ASTQ_AGE_PRIORITY:
-            if self.hierarchy.dl1_ports.try_acquire():
-                astq.issue_head(now)
-        self._issue(now)
-        if astq is not None:
-            while self.hierarchy.dl1_ports.free and astq.queue:
-                self.hierarchy.dl1_ports.try_acquire()
-                astq.issue_head(now)
+        self._issue_stage(now)
         self._fetch(now)
         if m is not None:
             m.dist("pipeline.iq_occupancy").record(self.iq_count)
             m.dist("pipeline.rob_occupancy").record(
                 sum(self._rob_per_thread))
+            astq = self._astq
             if astq is not None:
                 m.dist("astq.occupancy").record(len(astq.queue))
             m.tick(now, committed=self.stats.committed)
         self.cycle = now + 1
 
+    def _writeback(self, now: int) -> None:
+        """Drain this cycle's completion events and tick the ASTQ."""
+        events = self._wheel.pop(now, None)
+        if events is not None:
+            for event in events:
+                kind = event[0]
+                if kind == "exec":
+                    self._complete_exec(event[1])
+                elif kind == "loaddata":
+                    self._complete_load(event[1], from_forward=False)
+                elif kind == "fwd":
+                    self._complete_load(event[1], from_forward=True)
+                elif kind == "trapload":
+                    _, lidx, addr = event
+                    self._trap_outstanding -= 1
+                    self.engine.apply_trap_load(
+                        lidx, self.hierarchy.read_word(addr))
+                elif kind == "trapstore":
+                    self._trap_outstanding -= 1
+        astq = self._astq
+        if astq is not None and astq.in_flight:
+            astq.tick(now, self._wakeup)
+
+    def _issue_stage(self, now: int) -> None:
+        """ASTQ head promotion, program issue, leftover-port ASTQ issue."""
+        astq = self._astq
+        if astq is None:
+            self._issue(now)
+            return
+        # An ASTQ head that has starved behind program memory traffic
+        # is promoted ahead of this cycle's loads (see ASTQ.head_age).
+        ports = self._dl1_ports
+        if astq.queue and astq.head_age() > _ASTQ_AGE_PRIORITY:
+            if ports.try_acquire():
+                astq.issue_head(now)
+        self._issue(now)
+        while astq.queue and ports.free:
+            ports.try_acquire()
+            astq.issue_head(now)
+
     # ==================================================================
     # fetch
     # ==================================================================
     def _fetch(self, now: int) -> None:
-        # The front queue holds both in-transit front-end stage latches
-        # (width x front-latency instructions) and the fetch buffer
-        # proper; only the latter is bounded, so the ceiling must not
-        # penalise deeper front ends.
-        cap = _FETCH_BUFFER + self.cfg.width * self._front_latency
-        eligible = [t for t in self.threads
-                    if not t.fetch_halted and not t.halted
-                    and len(self.front[t.tid]) < cap]
-        if not eligible:
-            return
-        # ICOUNT: fetch for the thread with the fewest in-flight
-        # instructions.
-        t = min(eligible, key=lambda th: (th.inflight, th.tid))
+        front = self.front
+        cap = self._front_cap
+        if self._n_threads == 1:
+            t = self.threads[0]
+            if t.fetch_halted or t.halted or len(front[0]) >= cap:
+                return
+        else:
+            eligible = [t for t in self.threads
+                        if not t.fetch_halted and not t.halted
+                        and len(front[t.tid]) < cap]
+            if not eligible:
+                return
+            # ICOUNT: fetch for the thread with the fewest in-flight
+            # instructions.
+            t = min(eligible, key=lambda th: (th.inflight, th.tid))
+        tid = t.tid
         code = t.program.code
-        self.hierarchy.il1.access(_ICACHE_BASE + t.next_pc * 8,
-                                  write=False, kind="ifetch")
+        n_code = len(code)
+        self._il1_access(_ICACHE_BASE + t.next_pc * 8,
+                         write=False, kind="ifetch")
         predictor = self.predictor
         tr = self.trace
+        tr_on = tr.enabled
         ready_at = now + self._front_latency
-        for _ in range(self.cfg.width):
+        pool = self._pool
+        queue = front[tid]
+        enqueue = queue.append
+        tstats = self.stats.threads[tid]
+        seq = self._seq
+        fetched = 0
+        for _ in range(self._width):
             pc = t.next_pc
-            if not 0 <= pc < len(code):
+            if not 0 <= pc < n_code:
                 # Wrong-path fetch ran off the program; wait for the
                 # redirect from the mispredicted branch.
                 t.fetch_halted = True
                 break
             ins = code[pc]
-            d = DynInst(self._seq, t.tid, pc, ins)
-            self._seq += 1
-            if tr.enabled:
-                tr.emit(now, t.tid, "fetch", seq=d.seq, pc=pc,
+            if pool:
+                d = pool.pop()
+                d.reinit(seq, tid, pc, ins)
+            else:
+                d = DynInst(seq, tid, pc, ins)
+            seq += 1
+            if tr_on:
+                tr.emit(now, tid, "fetch", seq=d.seq, pc=pc,
                         asm=ins.disassemble())
             next_pc = pc + 1
-            if ins.is_cond_branch:
-                taken, cp = predictor.predict(pc)
-                d.pred_cp = cp
-                d.pred_taken = taken
-                if taken:
+            kind = ins.ctrl_kind
+            if kind:
+                if kind == CTRL_COND:
+                    taken, cp = predictor.predict(pc)
+                    d.pred_cp = cp
+                    d.pred_taken = taken
+                    if taken:
+                        next_pc = ins.target
+                elif kind == CTRL_BR:
+                    d.pred_cp = predictor.checkpoint(pc)
                     next_pc = ins.target
-            elif ins.op is Op.BR:
-                d.pred_cp = predictor.checkpoint(pc)
-                next_pc = ins.target
-            elif ins.is_call:
-                d.pred_cp = predictor.checkpoint(pc)
-                predictor.ras.push(pc + 1)
-                next_pc = ins.target
-            elif ins.is_ret or ins.op is Op.JMP:
-                d.pred_cp = predictor.checkpoint(pc)
-                if ins.is_ret:
-                    next_pc = predictor.ras.pop()
-                # JMP falls through to pc+1 (always mispredicts).
+                elif kind == CTRL_CALL:
+                    d.pred_cp = predictor.checkpoint(pc)
+                    predictor.ras.push(pc + 1)
+                    next_pc = ins.target
+                else:  # RET / JMP
+                    d.pred_cp = predictor.checkpoint(pc)
+                    if kind == CTRL_RET:
+                        next_pc = predictor.ras.pop()
+                    # JMP falls through to pc+1 (always mispredicts).
             d.pred_next_pc = next_pc
             t.next_pc = next_pc
-            t.inflight += 1
-            self.stats.threads[t.tid].fetched += 1
-            self.front[t.tid].append((ready_at, d))
-            if ins.op is Op.HALT:
+            fetched += 1
+            enqueue((ready_at, d))
+            if ins.is_halt:
                 t.fetch_halted = True
                 break
             if next_pc != pc + 1:
                 break  # taken-predicted control: redirect next cycle
+        if fetched:
+            t.inflight += fetched
+            tstats.fetched += fetched
+        self._seq = seq
 
     # ==================================================================
     # rename + dispatch
     # ==================================================================
     def _rename_dispatch(self, now: int) -> None:
-        if self._trap_phase is not None or self.engine.trap_request is not None:
+        engine = self.engine
+        if self._trap_phase is not None or engine.trap_request is not None:
             # A window trap is pending or in progress: rename stalls
             # (for an underflow, behind the already-renamed return).
             return
-        budget = self.cfg.width
-        n = len(self.threads)
-        order = [(self._rename_rr + i) % n for i in range(n)]
-        self._rename_rr = (self._rename_rr + 1) % n
-        for tid in order:
-            queue = self.front[tid]
+        n = self._n_threads
+        rr = self._rename_rr
+        self._rename_rr = rr + 1 if rr + 1 < n else 0
+        front = self.front
+        if n == 1:
+            q = front[0]
+            # Nothing rename-ready: skip the per-cycle local binds.
+            if not q or q[0][0] > now:
+                return
+        cfg = self.cfg
+        budget = self._width
+        iq_size = cfg.iq_size
+        lsq_size = cfg.lsq_size
+        rob_share = self._rob_share
+        rob_per_thread = self._rob_per_thread
+        rob = self.rob
+        stalls = engine.stalls
+        try_rename = engine.try_rename
+        tr = self.trace
+        tr_on = tr.enabled
+        for i in range(n):
+            tid = rr + i
+            if tid >= n:
+                tid -= n
+            queue = front[tid]
             while budget and queue:
                 ready_at, d = queue[0]
                 if ready_at > now:
@@ -369,108 +454,147 @@ class Pipeline:
                     queue.popleft()
                     continue
                 ins = d.instr
-                if self._rob_per_thread[tid] >= self._rob_share:
-                    self.engine.stalls["rob_full"] += 1
+                if rob_per_thread[tid] >= rob_share:
+                    stalls["rob_full"] += 1
                     break
-                simple = ins.op is Op.NOP or ins.op is Op.HALT
-                if not simple and self.iq_count >= self.cfg.iq_size:
-                    self.engine.stalls["iq_full"] += 1
+                simple = ins.is_simple
+                if not simple and self.iq_count >= iq_size:
+                    stalls["iq_full"] += 1
                     return
-                if ins.is_mem and self.lsq_count >= self.cfg.lsq_size:
-                    self.engine.stalls["lsq_full"] += 1
+                if ins.is_mem and self.lsq_count >= lsq_size:
+                    stalls["lsq_full"] += 1
                     return
-                if not self.engine.try_rename(d):
+                if not try_rename(d):
                     break
                 queue.popleft()
                 d.renamed_at = now
-                if self.trace.enabled:
-                    self.trace.emit(now, tid, "rename", seq=d.seq)
-                self.rob[tid].append(d)
-                self._rob_per_thread[tid] += 1
+                if tr_on:
+                    tr.emit(now, tid, "rename", seq=d.seq)
+                rob[tid].append(d)
+                rob_per_thread[tid] += 1
                 if simple:
                     d.done = True
                 else:
                     self._dispatch(d)
                 budget -= 1
-                if self.engine.trap_request is not None:
+                if engine.trap_request is not None:
                     return  # underflow: stall rename behind this return
             if not budget:
                 break
 
     def _dispatch(self, d: DynInst) -> None:
         unready = 0
-        for p in (d.p_rs1, d.p_rs2):
-            if p is not None and not p.ready:
-                self._waiters.setdefault(p.idx, []).append(d)
-                unready += 1
+        waiters = self._waiters
+        p = d.p_rs1
+        if p is not None and not p.ready:
+            w = waiters.get(p.idx)
+            if w is None:
+                waiters[p.idx] = [d]
+            else:
+                w.append(d)
+            unready += 1
+        p = d.p_rs2
+        if p is not None and not p.ready:
+            w = waiters.get(p.idx)
+            if w is None:
+                waiters[p.idx] = [d]
+            else:
+                w.append(d)
+            unready += 1
         d.n_unready = unready
         d.in_iq = True
         self.iq_count += 1
-        if d.instr.is_mem:
+        ins = d.instr
+        if ins.is_mem:
             self.lsq_count += 1
-            if d.instr.is_store:
+            if ins.is_store:
                 self._stores[d.tid].append(d)
         if unready == 0:
-            heapq.heappush(self._ready, (d.seq, d))
+            heappush(self._ready, (d.seq, d))
 
     def _wakeup(self, preg) -> None:
         waiters = self._waiters.pop(preg.idx, None)
         if not waiters:
             return
+        ready = self._ready
         for d in waiters:
             if d.squashed:
                 continue
             d.n_unready -= 1
             if d.n_unready == 0 and d.in_iq and not d.issued:
-                heapq.heappush(self._ready, (d.seq, d))
+                heappush(ready, (d.seq, d))
 
     # ==================================================================
     # issue + execute
     # ==================================================================
     def _issue(self, now: int) -> None:
-        self._service_pending_loads(now)
-        budget = self.cfg.width
-        int_slots = self.cfg.int_alus
-        fp_slots = self.cfg.fp_units
-        deferred = []
+        if self._pending_loads:
+            self._service_pending_loads(now)
+        ready = self._ready
+        if not ready:
+            return
+        budget = self._width
+        int_slots = self._int_alus
+        fp_slots = self._fp_units
+        deferred = None
         tr = self.trace
-        while budget and self._ready:
-            _, d = heapq.heappop(self._ready)
+        tr_on = tr.enabled
+        wheel = self._wheel
+        latencies = self._latency
+        while budget and ready:
+            _, d = heappop(ready)
             if d.squashed or d.issued:
                 continue
-            if d.instr.is_fp_unit:
+            ins = d.instr
+            if ins.is_fp_unit:
                 if fp_slots == 0:
+                    if deferred is None:
+                        deferred = []
                     deferred.append(d)
                     continue
                 fp_slots -= 1
             else:
                 if int_slots == 0:
+                    if deferred is None:
+                        deferred = []
                     deferred.append(d)
                     continue
                 int_slots -= 1
             d.issued = True
             d.in_iq = False
             self.iq_count -= 1
-            if tr.enabled:
+            if tr_on:
                 tr.emit(now, d.tid, "issue", seq=d.seq)
-            if d.instr.is_mem:
-                latency = 1  # AGU
+            # Loads/stores take one AGU cycle; the cache access follows.
+            latency = 1 if ins.is_mem else latencies[ins.latency_class]
+            when = now + latency
+            slot = wheel.get(when)
+            if slot is None:
+                wheel[when] = [("exec", d)]
             else:
-                latency = self._latency[d.instr.latency_class]
-            self._wheel.setdefault(now + latency, []).append(("exec", d))
+                slot.append(("exec", d))
             budget -= 1
-        for d in deferred:
-            heapq.heappush(self._ready, (d.seq, d))
+        if deferred:
+            for d in deferred:
+                heappush(ready, (d.seq, d))
 
     def _complete_exec(self, d: DynInst) -> None:
         if d.squashed:
             return
-        res = execute(d.instr, d.src_value(1), d.src_value(2), d.pc)
         ins = d.instr
+        fn = ins.exec_fn
+        if fn is None:
+            fn = ins.exec_fn = _build_exec(ins)
+        p1 = d.p_rs1
+        p2 = d.p_rs2
+        res = fn(p1.value if p1 is not None else 0,
+                 p2.value if p2 is not None else 0, d.pc)
         if ins.is_load:
             d.mem_addr = res.mem_addr
-            self._pending_loads.append(d)
-            self._pending_loads.sort(key=lambda x: x.seq)
+            loads = self._pending_loads
+            if loads and loads[-1].seq > d.seq:
+                self._loads_dirty = True
+            loads.append(d)
             return
         tr = self.trace
         if ins.is_store:
@@ -481,10 +605,11 @@ class Pipeline:
                 tr.emit(self.cycle, d.tid, "writeback", seq=d.seq)
             return
         d.result = res.result
-        if d.pdst is not None:
-            d.pdst.value = res.result
-            d.pdst.ready = True
-            self._wakeup(d.pdst)
+        pdst = d.pdst
+        if pdst is not None:
+            pdst.value = res.result
+            pdst.ready = True
+            self._wakeup(pdst)
         d.done = True
         if tr.enabled:
             tr.emit(self.cycle, d.tid, "writeback", seq=d.seq)
@@ -497,42 +622,113 @@ class Pipeline:
 
     # -- loads ------------------------------------------------------------
     def _service_pending_loads(self, now: int) -> None:
-        if not self._pending_loads:
+        loads = self._pending_loads
+        if not loads:
             return
+        if self._loads_dirty:
+            # Loads must be considered oldest-first; sorting lazily here
+            # replaces the per-append sort of the naive implementation.
+            loads.sort(key=_SEQ_KEY)
+            self._loads_dirty = False
+        # Each load resolves against the LSQ (an older store with an
+        # unknown address blocks it; an address match forwards once the
+        # store data is ready) and otherwise arbitrates for a DL1 port.
+        # Waiting loads retry every cycle, making this the single
+        # most-executed loop in the model, so the store-queue scan
+        # result is cached on the load (``lsq_wait``/``lsq_clear``):
+        #
+        # * While a load waits on a specific store (address unknown, or
+        #   matched with data pending), no store older than the load can
+        #   appear (dispatch is program-ordered) and resolved store
+        #   addresses never change, so the outcome only changes when
+        #   that store itself changes state.  ``lsq_wait_seq`` and the
+        #   committed bit detect the store retiring (and possibly being
+        #   recycled by the DynInst pool) so the load rescans.
+        # * Once a scan proves no older store can match (``lsq_clear``),
+        #   that holds for the load's lifetime: only the DL1 port
+        #   arbitration needs retrying.
         still: List[DynInst] = []
-        for d in self._pending_loads:
+        keep = still.append
+        stores_by_tid = self._stores
+        wheel = self._wheel
+        hierarchy = self.hierarchy
+        try_acquire = hierarchy.dl1_ports.try_acquire
+        fwd_slot = None
+        for d in loads:
             if d.squashed:
                 continue
-            action = self._try_load(d, now)
-            if action == "wait":
-                still.append(d)
+            d_addr = d.mem_addr
+            st = d.lsq_wait
+            if st is not None:
+                if (st.seq == d.lsq_wait_seq and not st.squashed
+                        and not st.committed):
+                    st_addr = st.mem_addr
+                    if st_addr is None:
+                        keep(d)  # still blocked on an unknown address
+                        continue
+                    if st_addr == d_addr:
+                        if not st.done:
+                            keep(d)  # forwarding store, data pending
+                            continue
+                        d.lsq_wait = None
+                        d.forwarded = True
+                        d.result = st.store_val
+                        if fwd_slot is None:
+                            when = now + 1
+                            fwd_slot = wheel.get(when)
+                            if fwd_slot is None:
+                                fwd_slot = wheel[when] = []
+                        fwd_slot.append(("fwd", d))
+                        continue
+                d.lsq_wait = None  # stale: rescan the store queue
+            if not d.lsq_clear:
+                d_seq = d.seq
+                match = None
+                blocked = False
+                for st in reversed(stores_by_tid[d.tid]):
+                    if st.seq > d_seq or st.squashed:
+                        continue
+                    st_addr = st.mem_addr
+                    if st_addr is None:
+                        blocked = True  # older store address unknown
+                        break
+                    if st_addr == d_addr:
+                        match = st
+                        break
+                if blocked:
+                    d.lsq_wait = st
+                    d.lsq_wait_seq = st.seq
+                    keep(d)
+                    continue
+                if match is not None:
+                    if not match.done:
+                        d.lsq_wait = match
+                        d.lsq_wait_seq = match.seq
+                        keep(d)  # store data not ready yet
+                        continue
+                    d.forwarded = True
+                    d.result = match.store_val
+                    if fwd_slot is None:
+                        when = now + 1
+                        fwd_slot = wheel.get(when)
+                        if fwd_slot is None:
+                            fwd_slot = wheel[when] = []
+                    fwd_slot.append(("fwd", d))
+                    continue
+                d.lsq_clear = True
+            if try_acquire():
+                latency = hierarchy.dl1_access(d_addr, write=False,
+                                               kind="load")
+                d.result = hierarchy.read_word(d_addr)
+                when = now + latency
+                slot = wheel.get(when)
+                if slot is None:
+                    wheel[when] = [("loaddata", d)]
+                else:
+                    slot.append(("loaddata", d))
+            else:
+                keep(d)  # no port; retry next cycle
         self._pending_loads = still
-
-    def _try_load(self, d: DynInst, now: int) -> str:
-        """Resolve one address-ready load against the LSQ and DL1."""
-        match = None
-        for st in reversed(self._stores[d.tid]):
-            if st.squashed or st.seq > d.seq:
-                continue
-            if st.mem_addr is None:
-                return "wait"  # older store address unknown
-            if st.mem_addr == d.mem_addr:
-                match = st
-                break
-        if match is not None:
-            if not match.done:
-                return "wait"  # store data not ready yet
-            d.forwarded = True
-            d.result = match.store_val
-            self._wheel.setdefault(now + 1, []).append(("fwd", d))
-            return "done"
-        if not self.hierarchy.dl1_ports.try_acquire():
-            return "wait"  # retry next cycle
-        latency = self.hierarchy.dl1_access(d.mem_addr, write=False,
-                                            kind="load")
-        d.result = self.hierarchy.read_word(d.mem_addr)
-        self._wheel.setdefault(now + latency, []).append(("loaddata", d))
-        return "done"
 
     def _complete_load(self, d: DynInst, from_forward: bool) -> None:
         if d.squashed:
@@ -551,18 +747,36 @@ class Pipeline:
     # commit
     # ==================================================================
     def _commit(self, now: int) -> None:
-        budget = self.cfg.width
-        stats = self.stats
-        n = len(self.threads)
-        order = [(self._commit_rr + i) % n for i in range(n)]
-        self._commit_rr = (self._commit_rr + 1) % n
-        for tid in order:
-            budget = self._commit_thread(now, self.rob[tid], budget)
-            if not budget:
-                break
+        n = self._n_threads
+        rr = self._commit_rr
+        self._commit_rr = rr + 1 if rr + 1 < n else 0
+        rob = self.rob
+        budget = self._width
+        if n == 1:
+            if rob[0]:
+                self._commit_thread(now, rob[0], budget)
+            return
+        for i in range(n):
+            tid = rr + i
+            if tid >= n:
+                tid -= n
+            q = rob[tid]
+            if q:
+                budget = self._commit_thread(now, q, budget)
+                if not budget:
+                    break
 
     def _commit_thread(self, now: int, rob: deque, budget: int) -> int:
         stats = self.stats
+        engine = self.engine
+        on_commit = engine.on_commit
+        hierarchy = self.hierarchy
+        ports = self._dl1_ports
+        threads = self.threads
+        rob_per_thread = self._rob_per_thread
+        pool = self._pool
+        tr = self.trace
+        tr_on = tr.enabled
         while budget and rob:
             d = rob[0]
             if d.squashed:
@@ -571,25 +785,25 @@ class Pipeline:
             if not d.done:
                 break
             ins = d.instr
+            tid = d.tid
             if ins.is_store:
-                if not self.hierarchy.dl1_ports.try_acquire():
+                if not ports.try_acquire():
                     break  # no store port this cycle; retry
-                self.hierarchy.dl1_access(d.mem_addr, write=True,
-                                          kind="store")
-                self.hierarchy.write_word(d.mem_addr, d.store_val)
-                stores = self._stores[d.tid]
+                hierarchy.dl1_access(d.mem_addr, write=True, kind="store")
+                hierarchy.write_word(d.mem_addr, d.store_val)
+                stores = self._stores[tid]
                 if not stores or stores[0] is not d:  # pragma: no cover
                     raise SimulationError("store commit out of LSQ order")
                 stores.pop(0)
             if ins.is_mem:
                 self.lsq_count -= 1
-            self.engine.on_commit(d)
+            on_commit(d)
             d.committed = True
-            if self.trace.enabled:
-                self.trace.emit(now, d.tid, "commit", seq=d.seq, pc=d.pc)
-            t = stats.threads[d.tid]
+            if tr_on:
+                tr.emit(now, tid, "commit", seq=d.seq, pc=d.pc)
+            t = stats.threads[tid]
             t.committed += 1
-            self.threads[d.tid].inflight -= 1
+            threads[tid].inflight -= 1
             if ins.is_cond_branch:
                 stats.cond_branches += 1
                 t.cond_branches += 1
@@ -603,16 +817,25 @@ class Pipeline:
                 t.stores += 1
             elif ins.is_call:
                 t.calls += 1
-            elif ins.op is Op.HALT:
-                th = self.threads[d.tid]
+            elif ins.is_halt:
+                th = threads[tid]
                 th.halted = True
                 th.fetch_halted = True
                 t.halted = True
                 t.halted_at = now
+                self._halted_count += 1
             rob.popleft()
-            self._rob_per_thread[d.tid] -= 1
+            rob_per_thread[tid] -= 1
             self._last_commit = now
             budget -= 1
+            # Recycle the retired instance unless the window-trap
+            # sequencer still holds a reference to it (a conventional
+            # underflow's trap request pins the committed return until
+            # the trap fires or is cancelled).
+            if len(pool) < _DYNINST_POOL:
+                req = engine.trap_request
+                if req is None or req.din is not d:
+                    pool.append(d)
         return budget
 
     # ==================================================================
@@ -647,6 +870,21 @@ class Pipeline:
         for d in reversed(dropped):
             if d.instr.is_cond_branch:
                 self.predictor.undo_spec(d.pred_cp)
+        # Front-dropped instructions never renamed or dispatched, so no
+        # other structure references them: recycle immediately.  ROB
+        # victims below stay out of the pool — they may still sit in
+        # the ready heap, waiter lists or the event wheel.  An overflow
+        # trap request pins its (not yet renamed) call, so that one
+        # stays out too: the trap sequencer must still observe its
+        # squashed flag to cancel the trap.
+        pool = self._pool
+        req = self.engine.trap_request
+        pinned = req.din if req is not None else None
+        for d in dropped:
+            if len(pool) >= _DYNINST_POOL:
+                break
+            if d is not pinned:
+                pool.append(d)
 
         # Squash renamed wrong-path instructions youngest-first so the
         # rename engine can restore prior mappings in order.

@@ -31,10 +31,24 @@ class DynInst:
         "actual_target", "mispredicted", "forwarded",
         # structures
         "lsq_slot", "trap_op",
+        # pending-load scan cache (see Pipeline._service_pending_loads):
+        # the store this load is waiting on (with its seq captured to
+        # detect recycling), or a proof that no older store can match.
+        "lsq_wait", "lsq_wait_seq", "lsq_clear",
     )
 
     def __init__(self, seq: int, tid: int, pc: int,
                  instr: Instruction) -> None:
+        self.reinit(seq, tid, pc, instr)
+
+    def reinit(self, seq: int, tid: int, pc: int,
+               instr: Instruction) -> None:
+        """(Re)set every field to freshly-fetched state.
+
+        Factored out of ``__init__`` so the pipeline can recycle retired
+        instances through an object pool instead of allocating a new
+        29-field object per fetched instruction.
+        """
         self.seq = seq
         self.tid = tid
         self.pc = pc
@@ -70,6 +84,10 @@ class DynInst:
         #: Marks transfers injected by the conventional register-window
         #: trap handler; they bypass rename and the branch machinery.
         self.trap_op = False
+
+        self.lsq_wait: Optional["DynInst"] = None
+        self.lsq_wait_seq = -1
+        self.lsq_clear = False
 
     # ------------------------------------------------------------------
     def src_value(self, which: int) -> float:

@@ -103,14 +103,17 @@ class PhysRegFile:
 
     def alloc(self) -> Optional[PhysReg]:
         """Take a register off the free list, or ``None`` if empty."""
-        if not self._free:
+        free = self._free
+        if not free:
             return None
-        reg = self.regs[self._free.pop()]
+        reg = self.regs[free.pop()]
         reg.reset()
         reg.is_free = False
-        self.touch(reg)
+        reg.last_use = self.now
         self.allocs += 1
-        self.max_in_use = max(self.max_in_use, self.n_in_use)
+        in_use = self.n_regs - len(free)
+        if in_use > self.max_in_use:
+            self.max_in_use = in_use
         return reg
 
     def free(self, reg: PhysReg) -> None:

@@ -22,6 +22,7 @@ class RsidTable:
             raise ValueError("need at least one RSID")
         self.n_entries = n_entries
         self.offset_bits = offset_bits
+        self._offset_mask = (1 << offset_bits) - 1
         # rsid -> upper bits; LRU tracked with a use clock.
         self._upper_of: List[Optional[int]] = [None] * n_entries
         self._rsid_of: Dict[int, int] = {}
@@ -32,7 +33,17 @@ class RsidTable:
 
     def split(self, addr: int) -> Tuple[int, int]:
         """Split a register memory address into (upper, word offset)."""
-        return addr >> self.offset_bits, (addr & ((1 << self.offset_bits) - 1)) >> 3
+        return addr >> self.offset_bits, (addr & self._offset_mask) >> 3
+
+    def split_lookup(self, addr: int) -> Tuple[int, int, Optional[int]]:
+        """:meth:`split` and :meth:`lookup` fused for the rename path:
+        one call returns (upper, word offset, rsid-or-None)."""
+        upper = addr >> self.offset_bits
+        rsid = self._rsid_of.get(upper)
+        if rsid is not None:
+            self._clock += 1
+            self._last_use[rsid] = self._clock
+        return upper, (addr & self._offset_mask) >> 3, rsid
 
     # ------------------------------------------------------------------
     def lookup(self, upper: int) -> Optional[int]:

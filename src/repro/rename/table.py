@@ -30,6 +30,7 @@ class VcaRenameTable:
         self.assoc = assoc
         self.regfile = regfile
         self._sets: List[Dict[Key, int]] = [{} for _ in range(n_sets)]
+        self._set_mask = n_sets - 1
         self.lookups = 0
         self.misses = 0
         self.conflict_evictions = 0
@@ -42,12 +43,14 @@ class VcaRenameTable:
         # indexing on the low offset bits alone would alias every
         # window frame and every thread onto the same few sets.
         rsid, woff = key
-        idx = (woff ^ (woff >> 6) ^ (rsid * 21)) & (self.n_sets - 1)
+        idx = (woff ^ (woff >> 6) ^ (rsid * 21)) & self._set_mask
         return self._sets[idx]
 
     def lookup(self, key: Key) -> Optional[PhysReg]:
         self.lookups += 1
-        idx = self._set_of(key).get(key)
+        rsid, woff = key  # inlined _set_of: this is the hottest probe
+        s = self._sets[(woff ^ (woff >> 6) ^ (rsid * 21)) & self._set_mask]
+        idx = s.get(key)
         if idx is None:
             self.misses += 1
             return None
@@ -55,7 +58,9 @@ class VcaRenameTable:
 
     def peek(self, key: Key) -> Optional[PhysReg]:
         """Lookup without stats (internal bookkeeping paths)."""
-        idx = self._set_of(key).get(key)
+        rsid, woff = key
+        s = self._sets[(woff ^ (woff >> 6) ^ (rsid * 21)) & self._set_mask]
+        idx = s.get(key)
         return None if idx is None else self.regfile.regs[idx]
 
     # ------------------------------------------------------------------

@@ -30,7 +30,7 @@ Figures 4-6 while sharing all bookkeeping with the real engine.
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List, Optional, Tuple
+from typing import Dict, List, Optional, Tuple
 
 from repro.asm.layout import WINDOW_STRIDE_BYTES
 from repro.asm.program import Program
@@ -45,7 +45,11 @@ from .regfile import PhysReg
 from .rsid import RsidTable
 from .table import VcaRenameTable
 
-Undo = Callable[[], None]
+#: A journal entry is a tagged tuple, undone by ``_undo_all``.  Tagged
+#: tuples replace the earlier per-entry undo closures: rename journals
+#: are created and discarded for every renamed instruction, and tuple
+#: construction is several times cheaper than closure allocation.
+Undo = Tuple
 
 
 class VcaRename(RenameEngine):
@@ -70,6 +74,12 @@ class VcaRename(RenameEngine):
                               hierarchy, self.regfile)
         self.contexts: Dict[int, ThreadContext] = {}
         self._ports_used = 0
+        #: Scratch journal reused across try_rename calls (its entries
+        #: never escape the call).
+        self._journal: List[Undo] = []
+        self._dead_hint = cfg.vca_dead_window_hint
+        #: Eviction protection window (cycles); 0 for the ideal engine.
+        self._protect_age = 0 if ideal else cfg.vca_protect_cycles
         #: RSID whose register space is being flushed, or None.
         self._flush_rsid: Optional[int] = None
         self._flush_entries: List[Tuple[Tuple[int, int], PhysReg]] = []
@@ -173,15 +183,15 @@ class VcaRename(RenameEngine):
         which first flushes the victim register space (rename stalls
         until the flush drains).
         """
-        if self.rsid is None:
+        rsid = self.rsid
+        if rsid is None:
             return (0, laddr >> 3)
-        upper, woff = self.rsid.split(laddr)
-        rs = self.rsid.lookup(upper)
+        upper, woff, rs = rsid.split_lookup(laddr)
         if rs is None:
-            if self.rsid.has_free:
-                rs = self.rsid.install(upper)
+            if rsid.has_free:
+                rs = rsid.install(upper)
                 if journal is not None:
-                    journal.append(lambda r=rs: self.rsid.evict(r))
+                    journal.append(("rsid", rs))
             else:
                 self._start_rsid_flush()
                 return None
@@ -264,33 +274,31 @@ class VcaRename(RenameEngine):
             else:
                 op = self._astq.push_spill(reg.laddr, reg.value)
                 self.spills_generated += 1
-                journal.append(lambda o=op: self._astq.unpush(o))
+                journal.append(("unpush", op))
             self._obs_spill(reg.laddr, cause)
         snapshot = (reg.value, reg.ready, reg.committed, reg.dirty,
                     reg.laddr, reg.from_fill, reg.last_use)
         self.table.remove(key)
         self.regfile.free(reg)
-
-        def undo(r=reg, k=key, s=snapshot):
-            p = self.regfile.alloc()
-            assert p is r, "rollback out of order"
-            (r.value, r.ready, r.committed, r.dirty, r.laddr,
-             r.from_fill, r.last_use) = s
-            self.table.set_mapping(k, r)
-        journal.append(undo)
+        journal.append(("evict", reg, key, snapshot))
         return True
 
     def _alloc(self, key: Tuple[int, int], journal: List[Undo],
-               exclude: Optional[PhysReg] = None) -> Optional[PhysReg]:
+               exclude: Optional[PhysReg] = None,
+               sset: Optional[dict] = None) -> Optional[PhysReg]:
         """A free physical register plus a free way for ``key``.
 
         ``exclude`` shields the destination's previous mapping: it is
         out of the rename table only after ``set_mapping`` runs, so
         without the shield the global LRU scan could evict and
         reallocate the very register recovery needs as ``prev_pdst``.
+        ``sset`` lets the caller pass ``key``'s already-probed table
+        set to avoid re-deriving it (the rename hot path).
         """
-        min_age = 0 if self.ideal else self.cfg.vca_protect_cycles
-        if not self.table.has_room(key):
+        min_age = self._protect_age
+        if sset is None:
+            sset = self.table._set_of(key)
+        if key not in sset and len(sset) >= self.table.assoc:
             victim = self.table.find_set_victim(key, exclude, min_age)
             if victim is None:
                 self.stalls["set_conflict"] += 1
@@ -309,7 +317,7 @@ class VcaRename(RenameEngine):
             if p is None:  # the evicted way was in our (full) set
                 self.stalls["no_preg"] += 1
                 return None
-        journal.append(lambda r=p: self.regfile.unfree(r))
+        journal.append(("unfree", p))
         return p
 
     # -- rename proper ------------------------------------------------------------
@@ -317,117 +325,238 @@ class VcaRename(RenameEngine):
         if self._flush_rsid is not None:
             self.stalls["rsid_flush"] += 1
             return False
-        if self._astq is not None:
-            self._astq.begin_instruction()
-        journal: List[Undo] = []
+        astq = self._astq
+        if astq is not None:
+            # ASTQ.begin_instruction, inlined (runs per rename attempt).
+            astq._writes_at_instr_start = astq._writes_this_cycle
+            astq._queue_at_instr_start = len(astq.queue)
+        journal = self._journal
+        journal.clear()
         if self._rename_inner(d, journal):
             return True
-        for undo in reversed(journal):
-            undo()
+        self._undo_all(journal)
         d.p_rs1 = d.p_rs2 = d.pdst = d.prev_pdst = None
         d.dest_key = None
         d.ctx_delta = 0
         return False
 
+    def _undo_all(self, journal: List[Undo]) -> None:
+        """Roll back a failed rename, youngest journal entry first."""
+        table = self.table
+        regfile = self.regfile
+        for entry in reversed(journal):
+            tag = entry[0]
+            if tag == "ref":
+                entry[1].refcount -= 1
+            elif tag == "unfree":
+                regfile.unfree(entry[1])
+            elif tag == "unmap":
+                table.remove(entry[1])
+            elif tag == "dest":
+                _, key, prev = entry
+                if prev is not None:
+                    table.set_mapping(key, prev)
+                else:
+                    table.remove(key)
+            elif tag == "unpush":
+                self._astq.unpush(entry[1])
+            elif tag == "evict":
+                _, reg, key, snapshot = entry
+                p = regfile.alloc()
+                assert p is reg, "rollback out of order"
+                (reg.value, reg.ready, reg.committed, reg.dirty,
+                 reg.laddr, reg.from_fill, reg.last_use) = snapshot
+                table.set_mapping(key, reg)
+            elif tag == "ports":
+                self._ports_used = entry[1]
+            elif tag == "rsid":
+                self.rsid.evict(entry[1])
+            elif tag == "pop":
+                entry[1].pop_window()
+            else:  # "push"
+                entry[1].push_window()
+
     def _rename_inner(self, d, journal: List[Undo]) -> bool:
         ins = d.instr
         ctx = self.contexts[d.tid]
-        srcs = [r for r in (ins.rs1, ins.rs2) if r is not None and r != 31]
-        src_laddrs = [ctx.laddr(r) for r in srcs]
+        gbase = ctx.global_base
+        wbase = ctx.window_base
+        # Logical addresses from the interned operand views: the
+        # windowed/slot-offset classification is static per instruction
+        # and was computed once at assembly.  Unrolled for the 0/1/2
+        # source arities rather than a comprehension.
+        vsrcs = ins.vca_srcs
+        if not vsrcs:
+            src_laddrs = ()
+        elif len(vsrcs) == 1:
+            s0 = vsrcs[0]
+            src_laddrs = ((wbase if s0[1] else gbase) + s0[2],)
+        else:
+            s0 = vsrcs[0]
+            s1 = vsrcs[1]
+            src_laddrs = ((wbase if s0[1] else gbase) + s0[2],
+                          (wbase if s1[1] else gbase) + s1[2])
 
         # A call enters the new window before its destination (the
         # return-address register) is renamed; a return renames its
         # source in the current window and pops afterwards.
-        if ins.is_call and ctx.windowed_abi:
+        windowed_abi = ctx.windowed_abi
+        if ins.is_call and windowed_abi:
             ctx.push_window()
             d.ctx_delta = 1
-            journal.append(ctx.pop_window)
-        dest = ins.dest()
-        dest_laddr = ctx.laddr(dest) if dest is not None else None
-        if ins.is_ret and ctx.windowed_abi:
+            journal.append(("pop", ctx))
+            wbase = ctx.window_base
+        vdest = ins.vca_dest
+        if vdest is None:
+            dest_laddr = None
+        else:
+            dest_laddr = (wbase if vdest[0] else gbase) + vdest[1]
+        if ins.is_ret and windowed_abi:
             # Remember the departing frame for the dead-window
             # extension (returns have no destination, so dest_key is
             # free to carry it).
             d.dest_key = ("retframe", ctx.window_base)
             ctx.pop_window()
             d.ctx_delta = -1
-            journal.append(ctx.push_window)
+            journal.append(("push", ctx))
 
+        ideal = self.ideal
         # Rename-table port budget: reads of the same register combine.
-        if not self.ideal:
-            distinct = set(src_laddrs)
-            if dest_laddr is not None:
-                distinct.add(dest_laddr)
-            need = len(distinct)
-            if self._ports_used and self._ports_used + need > self.cfg.vca_rename_ports:
+        if not ideal:
+            need = len(src_laddrs)
+            if need == 2 and src_laddrs[0] == src_laddrs[1]:
+                need = 1
+            if dest_laddr is not None and dest_laddr not in src_laddrs:
+                need += 1
+            used = self._ports_used
+            if used and used + need > self.cfg.vca_rename_ports:
                 self.stalls["rename_ports"] += 1
                 return False
-            used_before = self._ports_used
-            self._ports_used += need
-            journal.append(
-                lambda u=used_before: setattr(self, "_ports_used", u))
+            self._ports_used = used + need
+            journal.append(("ports", used))
 
-        # Sources: lookup, filling on miss.
-        for pos, (reg, laddr) in enumerate(zip(srcs, src_laddrs)):
-            key = self._key_for(laddr, journal)
-            if key is None:
-                self.stalls["rsid_flush"] += 1
-                return False
-            p = self.table.lookup(key)
-            tr = self.trace
-            if tr.enabled:
-                tr.emit(self.clock(), d.tid,
-                        "tag_hit" if p is not None else "tag_miss",
-                        laddr=laddr, reg=reg)
-            m = self.metrics
-            if m is not None:
-                m.inc("rename.tag_hit" if p is not None
-                      else "rename.tag_miss")
-            if p is None:
-                if (self._astq is not None and not self._astq.can_write(1)):
-                    self.stalls["astq_full"] += 1
-                    return False
-                p = self._alloc(key, journal)
+        table = self.table
+        astq = self._astq
+        tr = self.trace
+        tr_on = tr.enabled
+        m = self.metrics
+        regfile = self.regfile
+        rf_now = regfile.now
+        regs = regfile.regs
+        # Rename runs for every fetched instruction (and re-runs on
+        # every stalled retry), so the RSID hit path and the tagged
+        # rename-table probe are inlined here rather than dispatched
+        # through RsidTable.split_lookup / VcaRenameTable.lookup; the
+        # counters those methods maintain are updated identically.
+        tbl_sets = table._sets
+        tbl_mask = table._set_mask
+        rsid_tab = self.rsid
+        if rsid_tab is not None:
+            rsid_get = rsid_tab._rsid_of.get
+            rsid_last = rsid_tab._last_use
+            rsid_bits = rsid_tab.offset_bits
+            rsid_mask = rsid_tab._offset_mask
+
+        # Sources: lookup, filling on miss.  RSID install/flush misses
+        # fall back to _key_for (the cold path).
+        if vsrcs:
+            rs1 = ins.rs1
+            first = True
+            for (reg, _windowed, _off), laddr in zip(vsrcs, src_laddrs):
+                if rsid_tab is None:
+                    rs_k = 0
+                    woff_k = laddr >> 3
+                else:
+                    rs_k = rsid_get(laddr >> rsid_bits)
+                    if rs_k is not None:
+                        clk = rsid_tab._clock + 1
+                        rsid_tab._clock = clk
+                        rsid_last[rs_k] = clk
+                        woff_k = (laddr & rsid_mask) >> 3
+                    else:
+                        key = self._key_for(laddr, journal)
+                        if key is None:
+                            self.stalls["rsid_flush"] += 1
+                            return False
+                        rs_k, woff_k = key
+                key = (rs_k, woff_k)
+                sset = tbl_sets[(woff_k ^ (woff_k >> 6) ^ (rs_k * 21))
+                                & tbl_mask]
+                idx = sset.get(key)
+                table.lookups += 1
+                if idx is None:
+                    table.misses += 1
+                    p = None
+                else:
+                    p = regs[idx]
+                if tr_on:
+                    tr.emit(self.clock(), d.tid,
+                            "tag_hit" if p is not None else "tag_miss",
+                            laddr=laddr, reg=reg)
+                if m is not None:
+                    m.inc("rename.tag_hit" if p is not None
+                          else "rename.tag_miss")
                 if p is None:
-                    return False
-                p.laddr = laddr
-                p.committed = False
-                self.table.set_mapping(key, p)
-                journal.append(lambda k=key: self.table.remove(k))
-                self._fill(p, laddr)
-                if not self.ideal:
-                    op = self._astq.queue[-1]
-                    journal.append(lambda o=op: self._astq.unpush(o))
-            p.refcount += 1
-            journal.append(lambda r=p: setattr(r, "refcount", r.refcount - 1))
-            self.regfile.touch(p)
-            if ins.rs1 == reg and d.p_rs1 is None:
-                d.p_rs1 = p
-            else:
-                d.p_rs2 = p
+                    if astq is not None and not astq.can_write(1):
+                        self.stalls["astq_full"] += 1
+                        return False
+                    p = self._alloc(key, journal, sset=sset)
+                    if p is None:
+                        return False
+                    p.laddr = laddr
+                    p.committed = False
+                    table.set_mapping(key, p)
+                    journal.append(("unmap", key))
+                    self._fill(p, laddr)
+                    if not ideal:
+                        journal.append(("unpush", astq.queue[-1]))
+                p.refcount += 1
+                journal.append(("ref", p))
+                p.last_use = rf_now
+                if first and reg == rs1:
+                    d.p_rs1 = p
+                else:
+                    d.p_rs2 = p
+                first = False
 
         # Destination.
-        if dest is not None:
-            key = self._key_for(dest_laddr, journal)
-            if key is None:
-                self.stalls["rsid_flush"] += 1
-                return False
-            prev = self.table.peek(key)
-            p = self._alloc(key, journal, exclude=prev)
+        if dest_laddr is not None:
+            if rsid_tab is None:
+                rs_k = 0
+                woff_k = dest_laddr >> 3
+            else:
+                rs_k = rsid_get(dest_laddr >> rsid_bits)
+                if rs_k is not None:
+                    clk = rsid_tab._clock + 1
+                    rsid_tab._clock = clk
+                    rsid_last[rs_k] = clk
+                    woff_k = (dest_laddr & rsid_mask) >> 3
+                else:
+                    key = self._key_for(dest_laddr, journal)
+                    if key is None:
+                        self.stalls["rsid_flush"] += 1
+                        return False
+                    rs_k, woff_k = key
+            key = (rs_k, woff_k)
+            sset = tbl_sets[(woff_k ^ (woff_k >> 6) ^ (rs_k * 21))
+                            & tbl_mask]
+            idx = sset.get(key)  # peek: no lookup-counter update
+            prev = None if idx is None else regs[idx]
+            p = self._alloc(key, journal, exclude=prev, sset=sset)
             if p is None:
                 return False
             p.laddr = dest_laddr
             p.ready = False
             p.committed = False
             p.refcount = 1
-            self.table.set_mapping(key, p)
-
-            def undo_dest(k=key, pr=prev):
-                if pr is not None:
-                    self.table.set_mapping(k, pr)
-                else:
-                    self.table.remove(k)
-            journal.append(undo_dest)
+            # set_mapping, inlined: _alloc guaranteed a way, and the
+            # entry at ``key`` (prev) is shielded from eviction, so
+            # ``idx`` still identifies the displaced mapping.
+            if idx is not None:
+                prev.in_table = False
+            sset[key] = p.idx
+            p.in_table = True
+            journal.append(("dest", key, prev))
             d.pdst = p
             d.prev_pdst = prev
             d.dest_key = key
@@ -435,25 +564,36 @@ class VcaRename(RenameEngine):
 
     # -- retire / recover -----------------------------------------------------------
     def on_commit(self, d) -> None:
+        regfile = self.regfile
         # References are counted per operand use, so a register feeding
-        # both sources is unpinned twice.
-        if d.p_rs1 is not None:
-            self.regfile.unpin(d.p_rs1)
-        if d.p_rs2 is not None:
-            self.regfile.unpin(d.p_rs2)
-        if d.pdst is not None:
-            p = d.pdst
+        # both sources is unpinned twice.  PhysRegFile.unpin is inlined
+        # here (drop a reference, free when doomed and unreferenced):
+        # commit runs it for every operand of every instruction.
+        p1 = d.p_rs1
+        if p1 is not None:
+            p1.refcount -= 1
+            if p1.doomed and p1.refcount == 0:
+                regfile.free(p1)
+        p2 = d.p_rs2
+        if p2 is not None:
+            p2.refcount -= 1
+            if p2.doomed and p2.refcount == 0:
+                regfile.free(p2)
+        p = d.pdst
+        if p is not None:
             p.committed = True
             p.dirty = True
             p.from_fill = False
-            self.regfile.unpin(p)
+            p.refcount -= 1
+            if p.doomed and p.refcount == 0:
+                regfile.free(p)
             prev = d.prev_pdst
             if prev is not None:
                 prev.doomed = True
                 if not prev.pinned:
-                    self.regfile.free(prev)
-        if (self.cfg.vca_dead_window_hint and d.instr.is_ret
-                and d.ctx_delta == -1):
+                    regfile.free(prev)
+        if (self._dead_hint and d.ctx_delta == -1
+                and d.instr.is_ret):
             self._drop_dead_window(d.dest_key[1])
 
     def _drop_dead_window(self, frame_base: int) -> None:

@@ -1,0 +1,128 @@
+#!/usr/bin/env python3
+"""Documentation checker: dead relative links and fenced doctests.
+
+Two checks over ``README.md`` and every ``docs/*.md`` page, both
+enforced by ``tests/test_docs.py`` and the CI ``docs`` job:
+
+1. **Links** — every relative markdown link target must exist on
+   disk (resolved against the linking file's directory; ``#fragment``
+   suffixes are stripped).  External (``http``/``https``/``mailto``)
+   and pure-anchor links are skipped.
+2. **Doctests** — every fenced ```` ```python ```` block containing
+   ``>>>`` examples is executed with the standard :mod:`doctest`
+   machinery, so documentation examples cannot silently rot.
+
+Stdlib only; run as ``python tools/check_docs.py`` from anywhere in
+the repo (exit status 1 on any failure).
+"""
+
+from __future__ import annotations
+
+import doctest
+import re
+import sys
+from pathlib import Path
+from typing import List, Tuple
+
+#: Inline markdown links/images: ``[text](target)`` — the target up to
+#: the first whitespace or closing paren (titles are not used here).
+LINK_RE = re.compile(r"!?\[[^\]]*\]\(([^)\s]+)\)")
+#: Fenced python code blocks.
+FENCE_RE = re.compile(r"^```python\s*\n(.*?)^```\s*$",
+                      re.MULTILINE | re.DOTALL)
+_EXTERNAL = ("http://", "https://", "mailto:")
+
+
+def repo_root() -> Path:
+    return Path(__file__).resolve().parent.parent
+
+
+def doc_files(root: Path) -> List[Path]:
+    """The files under check: the README plus every docs page."""
+    return [root / "README.md"] + sorted((root / "docs").glob("*.md"))
+
+
+def check_links(path: Path) -> List[str]:
+    """Dead-relative-link errors in one markdown file (empty = clean)."""
+    errors = []
+    text = path.read_text()
+    for match in LINK_RE.finditer(text):
+        target = match.group(1)
+        if target.startswith(_EXTERNAL) or target.startswith("#"):
+            continue
+        rel = target.split("#", 1)[0]
+        if not rel:
+            continue
+        if not (path.parent / rel).exists():
+            line = text.count("\n", 0, match.start()) + 1
+            errors.append(f"{path.name}:{line}: dead link -> {target}")
+    return errors
+
+
+def run_doctests(path: Path) -> Tuple[int, List[str]]:
+    """Execute the ``>>>`` examples in ``path``'s python fences.
+
+    Returns ``(examples_run, failures)`` where each failure is a
+    human-readable report.  Blocks without ``>>>`` (illustrative
+    snippets) are skipped.
+    """
+    parser = doctest.DocTestParser()
+    runner = doctest.DocTestRunner(verbose=False,
+                                   optionflags=doctest.ELLIPSIS)
+    text = path.read_text()
+    total = 0
+    failures: List[str] = []
+    for i, match in enumerate(FENCE_RE.finditer(text)):
+        block = match.group(1)
+        if ">>>" not in block:
+            continue
+        lineno = text.count("\n", 0, match.start())
+        test = parser.get_doctest(block, {}, f"{path.name}[{i}]",
+                                  str(path), lineno)
+        if not test.examples:
+            continue
+        total += len(test.examples)
+        out: List[str] = []
+        result = runner.run(test, out=out.append)
+        if result.failed:
+            failures.append("".join(out))
+    return total, failures
+
+
+def main() -> int:
+    root = repo_root()
+    # Doc examples import repro; make src/ importable when the repo
+    # is not pip-installed (CI runs this script directly).
+    src = root / "src"
+    if src.is_dir() and str(src) not in sys.path:
+        sys.path.insert(0, str(src))
+
+    files = doc_files(root)
+    missing = [f for f in files if not f.exists()]
+    if missing:
+        for f in missing:
+            print(f"missing documentation file: {f}", file=sys.stderr)
+        return 1
+
+    ok = True
+    n_links = n_examples = 0
+    for f in files:
+        errors = check_links(f)
+        n_links += len(LINK_RE.findall(f.read_text()))
+        for err in errors:
+            ok = False
+            print(err, file=sys.stderr)
+        ran, failures = run_doctests(f)
+        n_examples += ran
+        for report in failures:
+            ok = False
+            print(f"{f.name}: doctest failure\n{report}",
+                  file=sys.stderr)
+    status = "OK" if ok else "FAILED"
+    print(f"docs check {status}: {len(files)} files, "
+          f"{n_links} links, {n_examples} doctest examples")
+    return 0 if ok else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())
