@@ -16,6 +16,8 @@ Commands mirror the paper's evaluation:
   as a per-instruction pipeline view.
 * ``profile`` — where simulation wall-clock time goes: per-stage
   attribution plus cProfile hot functions.
+* ``lint`` — the simulator-aware static analysis suite
+  (``repro.lint``); the CI gate runs ``repro lint --strict``.
 
 Figure commands accept ``--workers N`` to run their plan on the
 parallel engine; ``sweep`` exposes the full engine surface.
@@ -179,6 +181,12 @@ def _cmd_profile(args) -> int:
             _json.dumps(payload, indent=2, sort_keys=True))
         print(f"\nprofile: wrote {args.json}")
     return 0
+
+
+def _cmd_lint(args) -> int:
+    # Lazy: the lint machinery is never needed on the simulation path.
+    from repro.lint import lint_main
+    return lint_main(args)
 
 
 def _cmd_trace(args) -> int:
@@ -497,6 +505,28 @@ def build_parser() -> argparse.ArgumentParser:
     tr.add_argument("--counts", action="store_true",
                     help="print per-kind event totals instead")
     tr.set_defaults(fn=_cmd_trace)
+
+    ln = sub.add_parser(
+        "lint", help="simulator-aware static analysis of the source "
+                     "tree (see docs/linting.md)")
+    ln.add_argument("paths", nargs="*", metavar="PATH",
+                    help="report only findings under these "
+                         "repo-relative paths")
+    ln.add_argument("--json", action="store_true",
+                    help="machine-readable findings on stdout")
+    ln.add_argument("--strict", action="store_true",
+                    help="also fail on stale baseline entries")
+    ln.add_argument("--baseline", metavar="FILE", default=None,
+                    help="baseline file "
+                         "(default: tools/lint_baseline.json)")
+    ln.add_argument("--update-baseline", action="store_true",
+                    help="rewrite the baseline from current findings")
+    ln.add_argument("--rules", action="store_true",
+                    help="print the rule catalog and exit")
+    ln.add_argument("--root", metavar="DIR", default=None,
+                    help="package directory to lint "
+                         "(default: the installed repro package)")
+    ln.set_defaults(fn=_cmd_lint)
     return parser
 
 

@@ -107,9 +107,6 @@ class MachineConfig:
     #: Low-order register-address bits covered by one register space
     #: (Fig. 3: a 16-bit register-space offset -> 64 KiB spaces).
     rsid_offset_bits: int = 16
-    #: Give registers with a dispatched overwriter lowest replacement
-    #: priority (Section 2.1.2); toggleable for ablation.
-    vca_overwrite_priority: bool = True
     #: Replacement recency floor in cycles: cached registers used more
     #: recently than this are never chosen as spill victims (rename
     #: stalls instead).  This keeps the live working set resident

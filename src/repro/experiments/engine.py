@@ -258,7 +258,7 @@ class SerialEngine(_EngineBase):
                 payload = pt.execute(use_cache=self.use_cache)
                 emit(PointOutcome(pt, "done", payload=payload,
                                   elapsed=time.monotonic() - t0))
-            except Exception:
+            except Exception:  # lint: allow-broad-except (point isolation)
                 emit(PointOutcome(pt, "failed",
                                   error=traceback.format_exc(limit=8),
                                   elapsed=time.monotonic() - t0))
@@ -271,10 +271,10 @@ def _worker_main(conn, point: Point, use_cache: bool,
         apply_repro_env(env)
         payload = point.execute(use_cache=use_cache)
         conn.send(("ok", payload))
-    except Exception:
+    except Exception:  # lint: allow-broad-except (crash isolation)
         try:
             conn.send(("error", traceback.format_exc(limit=8)))
-        except Exception:  # pragma: no cover - pipe already gone
+        except (OSError, ValueError):  # pragma: no cover - pipe already gone
             pass
     finally:
         conn.close()

@@ -46,6 +46,7 @@ def cache_dir() -> Path:
 HASH_EXCLUDE: Tuple[str, ...] = (
     "obs",
     "cli.py",
+    "lint",
     "experiments/report.py",
     "experiments/plan.py",
     "experiments/engine.py",

@@ -1,0 +1,52 @@
+"""Instrumentation hook points shared by the simulation layers.
+
+The timing model (``isa``/``asm``/``mem``/``rename``/``pipeline``/...)
+carries optional observability hooks — a tracer and a metrics registry
+— but must not depend on :mod:`repro.obs` at module level: the obs
+package is presentation-side code, excluded from the semantics source
+hash that keys the experiment result cache, and the lint layering rule
+(L001, see ``docs/linting.md``) forbids upward imports from the
+simulation layers.  This leaf module holds the one object both sides
+need: the shared inert tracer that instrumented classes default to.
+
+:class:`NullTracer` is duck-type compatible with
+:class:`repro.obs.trace.Tracer` for everything the simulation layers
+touch.  Every instrumentation site guards with the ``enabled``
+attribute, so the null tracer's methods are never called on the hot
+path; they exist only so stray unguarded calls stay harmless.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+
+class NullTracer:
+    """Inert stand-in for ``repro.obs.trace.Tracer``.
+
+    ``enabled`` is ``False`` forever, ``sinks`` is empty, and every
+    method is a no-op.  :data:`NULL_TRACER` is the single shared
+    instance; ``repro.obs.trace.build_tracer`` returns it (by
+    identity) when tracing is off.
+    """
+
+    __slots__ = ()
+
+    #: Instrumentation sites check this before building any event.
+    enabled: bool = False
+    #: No sinks; compatible with code that iterates ``tracer.sinks``.
+    sinks: tuple = ()
+
+    def emit(self, cycle: int, tid: int, kind: str, **fields) -> None:
+        """Discard the event (tracing is off)."""
+
+    def close(self) -> None:
+        """Nothing to flush."""
+
+    def ring_events(self) -> List[Dict]:
+        """No ring buffer; always the empty list."""
+        return []
+
+
+#: Shared disabled tracer: the default for every instrumented object.
+NULL_TRACER = NullTracer()

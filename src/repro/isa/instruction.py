@@ -76,6 +76,8 @@ class Instruction:
             self.latency_class = "imul"
         elif op is Op.FDIV:
             self.latency_class = "fdiv"
+        elif op is Op.FMUL:
+            self.latency_class = "fpmul"
         elif op in FP_UNIT_OPS:
             self.latency_class = "fp"
         else:

@@ -1,0 +1,40 @@
+"""simlint: simulator-aware static analysis for the repro tree.
+
+Stdlib-``ast`` rules that encode the invariants this repository's
+results rest on — see ``docs/linting.md`` for the catalog and
+rationale:
+
+* **D001–D004 determinism** — no ambient randomness, wall-clock
+  reads, set-iteration order, or ``id()`` values in the semantics-
+  bearing modules (the same file set ``source_hash`` keys the result
+  cache with).
+* **L001–L002 layering** — the module-level import graph stays a DAG
+  and never points from simulation semantics up into ``obs``,
+  ``experiments`` or the CLI.
+* **H001–H002 hot-path hygiene** — pooled classes declare
+  ``__slots__`` and their pool-reset method reassigns every slot.
+* **S001–S005 schema** — every emitted trace/metric name appears in
+  ``repro.obs.schema``, and vice versa.
+* **C001–C002 coverage** — every config field is read somewhere;
+  every CLI flag is documented.
+* **E001** — no unannotated broad ``except`` handlers.
+
+Run it as ``repro lint`` (``--json``, ``--strict``, ``--baseline``,
+``--update-baseline``, ``--rules``, ``--root``); suppress a finding
+in place with ``# lint: disable=ID`` or mark an intended isolation
+boundary with ``# lint: allow-broad-except``.
+"""
+
+from .baseline import load_baseline, save_baseline
+from .cli import default_config, find_repo_root, lint_main
+from .core import (
+    Finding, LintConfig, LintContext, Rule, SourceFile, default_rules,
+    lint_tree, rule_catalog,
+)
+
+__all__ = [
+    "Finding", "LintConfig", "LintContext", "Rule", "SourceFile",
+    "default_config", "default_rules", "find_repo_root",
+    "lint_main", "lint_tree", "load_baseline", "rule_catalog",
+    "save_baseline",
+]

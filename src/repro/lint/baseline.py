@@ -1,0 +1,45 @@
+"""Baseline file: grandfathered findings (target: empty).
+
+The baseline lets the lint gate land before every legacy finding is
+fixed: known findings are recorded by fingerprint (rule + path +
+message, line-independent) and stop failing the build, while any NEW
+finding still does.  The checked-in baseline for this repository is
+``tools/lint_baseline.json`` and is empty — keep it that way.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Iterable, List, Set
+
+from .core import Finding
+
+VERSION = 1
+
+
+def load_baseline(path: Path) -> Set[str]:
+    """Fingerprints grandfathered by ``path`` (empty when absent or
+    unreadable — an unreadable baseline must not hide findings)."""
+    try:
+        data = json.loads(Path(path).read_text())
+    except (OSError, ValueError):
+        return set()
+    entries = data.get("entries", []) if isinstance(data, dict) else []
+    return {e["fingerprint"] for e in entries
+            if isinstance(e, dict) and "fingerprint" in e}
+
+
+def save_baseline(path: Path, findings: Iterable[Finding]) -> None:
+    """Write ``findings`` as the new baseline (sorted, line-free)."""
+    entries: List[dict] = []
+    seen: Set[str] = set()
+    for f in sorted(findings, key=lambda f: (f.path, f.rule, f.message)):
+        fp = f.fingerprint()
+        if fp in seen:
+            continue
+        seen.add(fp)
+        entries.append({"fingerprint": fp, "rule": f.rule,
+                        "path": f.path, "message": f.message})
+    payload = {"version": VERSION, "entries": entries}
+    Path(path).write_text(json.dumps(payload, indent=2) + "\n")

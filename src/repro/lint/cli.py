@@ -1,0 +1,104 @@
+"""The ``repro lint`` subcommand driver.
+
+Exit codes: 0 — clean (or every finding baselined); 1 — new findings
+(or, under ``--strict``, stale baseline entries); the argument parser
+itself raises for usage errors as usual.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from pathlib import Path
+from typing import List, Optional
+
+from .baseline import load_baseline, save_baseline
+from .core import Finding, LintConfig, lint_tree, rule_catalog
+
+#: Repo-relative location of the checked-in baseline.
+BASELINE_REL = Path("tools") / "lint_baseline.json"
+
+
+def find_repo_root(start: Path) -> Optional[Path]:
+    """Nearest ancestor that looks like the repository checkout."""
+    for p in (start, *start.parents):
+        if (p / "README.md").is_file() and (p / "docs").is_dir():
+            return p
+    return None
+
+
+def default_config(package_root: Optional[Path] = None) -> LintConfig:
+    """The configuration ``repro lint`` runs with.
+
+    With no argument it lints the installed ``repro`` package; pass a
+    directory to lint another package laid out the same way (used by
+    the test suite to prove the gate fails on injected violations).
+    """
+    if package_root is None:
+        import repro
+        package_root = Path(repro.__file__).parent
+    package_root = Path(package_root).resolve()
+    return LintConfig(package_root=package_root,
+                      package_name=package_root.name,
+                      repo_root=find_repo_root(package_root))
+
+
+def lint_main(args) -> int:
+    """Entry point for the parsed ``repro lint`` namespace."""
+    if args.rules:
+        for rule_id, summary in rule_catalog().items():
+            print(f"{rule_id}  {summary}")
+        return 0
+
+    cfg = default_config(Path(args.root) if args.root else None)
+    findings = lint_tree(cfg)
+    if args.paths:
+        wanted = [p.rstrip("/") for p in args.paths]
+        findings = [f for f in findings
+                    if any(f.path == w or f.path.startswith(w + "/")
+                           for w in wanted)]
+
+    if args.baseline:
+        baseline_path = Path(args.baseline)
+    elif cfg.repo_root is not None:
+        baseline_path = cfg.repo_root / BASELINE_REL
+    else:
+        baseline_path = None
+
+    if args.update_baseline:
+        if baseline_path is None:
+            print("lint: no baseline path (pass --baseline)",
+                  file=sys.stderr)
+            return 1
+        save_baseline(baseline_path, findings)
+        print(f"lint: wrote {len(findings)} finding(s) to "
+              f"{baseline_path}")
+        return 0
+
+    known = load_baseline(baseline_path) if baseline_path else set()
+    fingerprints = {f.fingerprint() for f in findings}
+    new = [f for f in findings if f.fingerprint() not in known]
+    baselined = len(findings) - len(new)
+    stale = sorted(known - fingerprints)
+
+    if args.json:
+        print(json.dumps({
+            "findings": [f.to_dict() for f in new],
+            "baselined": baselined,
+            "stale_baseline_entries": stale,
+        }, indent=2))
+    else:
+        for f in new:
+            print(f.render())
+        summary = f"lint: {len(new)} finding(s)"
+        if baselined:
+            summary += f", {baselined} baselined"
+        if stale:
+            summary += f", {len(stale)} stale baseline entr(y/ies)"
+        print(summary)
+
+    if new:
+        return 1
+    if stale and args.strict:
+        return 1
+    return 0

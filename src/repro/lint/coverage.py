@@ -1,0 +1,109 @@
+"""Coverage rules (C001–C002): no dead config knobs, no ghost flags.
+
+A ``MachineConfig`` field nothing reads is worse than dead code — it
+is an experiment knob that silently does nothing, so a sweep over it
+produces identical points that *look* like a result.  A CLI flag the
+docs never mention is invisible to users and rots unreviewed.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable, List, Set, Tuple
+
+from .core import Finding, LintContext, Rule
+
+
+def _is_dataclass(cls: ast.ClassDef) -> bool:
+    for dec in cls.decorator_list:
+        target = dec.func if isinstance(dec, ast.Call) else dec
+        if isinstance(target, ast.Name) and target.id == "dataclass":
+            return True
+        if isinstance(target, ast.Attribute) and target.attr == "dataclass":
+            return True
+    return False
+
+
+class CoverageRule(Rule):
+    ids = {
+        "C001": "config dataclass field never read anywhere",
+        "C002": "CLI flag not mentioned in README/docs",
+    }
+
+    def check_tree(self, ctx: LintContext) -> Iterable[Finding]:
+        yield from self._check_config_fields(ctx)
+        yield from self._check_cli_flags(ctx)
+
+    # -- C001 --------------------------------------------------------------
+    def _check_config_fields(self, ctx: LintContext) -> Iterable[Finding]:
+        fields: List[Tuple] = []  # (src, class name, field, line)
+        for rel in ctx.cfg.config_modules:
+            src = ctx.by_rel.get(rel)
+            if src is None:
+                continue
+            for node in ast.walk(src.tree):
+                if not (isinstance(node, ast.ClassDef)
+                        and _is_dataclass(node)):
+                    continue
+                for stmt in node.body:
+                    if (isinstance(stmt, ast.AnnAssign)
+                            and isinstance(stmt.target, ast.Name)
+                            and not stmt.target.id.startswith("_")):
+                        fields.append((src, node.name, stmt.target.id,
+                                       stmt.lineno))
+        if not fields:
+            return
+        read: Set[str] = set()
+        wanted = {f[2] for f in fields}
+        for src in ctx.files:
+            for node in ast.walk(src.tree):
+                if (isinstance(node, ast.Attribute)
+                        and node.attr in wanted):
+                    read.add(node.attr)
+            if read == wanted:
+                break
+        for src, cls, name, line in fields:
+            if name not in read:
+                yield src.finding(
+                    "C001", line,
+                    f"config field {cls}.{name} is never read",
+                    "wire it into the model or delete the knob")
+
+    # -- C002 --------------------------------------------------------------
+    def _check_cli_flags(self, ctx: LintContext) -> Iterable[Finding]:
+        corpus = self._docs_corpus(ctx)
+        if corpus is None:
+            return
+        for rel in ctx.cfg.cli_modules:
+            src = ctx.by_rel.get(rel)
+            if src is None:
+                continue
+            for node in ast.walk(src.tree):
+                if not (isinstance(node, ast.Call)
+                        and isinstance(node.func, ast.Attribute)
+                        and node.func.attr == "add_argument"):
+                    continue
+                for arg in node.args:
+                    if (isinstance(arg, ast.Constant)
+                            and isinstance(arg.value, str)
+                            and arg.value.startswith("--")
+                            and arg.value not in corpus):
+                        yield src.finding(
+                            "C002", node,
+                            f"CLI flag {arg.value} is not documented "
+                            f"in README.md or docs/",
+                            "add it to docs/cli.md")
+
+    def _docs_corpus(self, ctx: LintContext):
+        repo = ctx.cfg.repo_root
+        if repo is None:
+            return None
+        chunks = []
+        readme = repo / "README.md"
+        if readme.is_file():
+            chunks.append(readme.read_text())
+        docs = repo / "docs"
+        if docs.is_dir():
+            for page in sorted(docs.glob("*.md")):
+                chunks.append(page.read_text())
+        return "\n".join(chunks) if chunks else None

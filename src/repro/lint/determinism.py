@@ -1,0 +1,175 @@
+"""Determinism rules (D001–D004): no hidden entropy in semantics code.
+
+Every result figure is keyed by a content hash of the semantics-
+bearing sources (``repro.experiments.runner.source_hash``); these
+rules police exactly that file set (shared via
+``LintConfig.hash_exclude``) for the classic sources of run-to-run
+nondeterminism: ambient RNG state, wall-clock reads, address-derived
+ordering, and unordered ``set`` iteration.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterable, Set
+
+from .core import Finding, LintContext, Rule, SourceFile
+
+#: ``time`` module functions that read the wall clock / cpu clock.
+_CLOCK_FNS = frozenset({
+    "time", "time_ns", "perf_counter", "perf_counter_ns", "monotonic",
+    "monotonic_ns", "process_time", "process_time_ns", "clock_gettime",
+})
+#: ``datetime.datetime`` constructors that read the clock.
+_NOW_FNS = frozenset({"now", "utcnow", "today"})
+
+
+def _is_set_expr(node: ast.AST) -> bool:
+    """A value that is unambiguously a ``set`` at this expression."""
+    if isinstance(node, (ast.Set, ast.SetComp)):
+        return True
+    return (isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Name)
+            and node.func.id in ("set", "frozenset"))
+
+
+class DeterminismRule(Rule):
+    ids = {
+        "D001": "unseeded randomness in a semantics-bearing module",
+        "D002": "wall-clock / os entropy read in a semantics-bearing "
+                "module",
+        "D003": "iteration over an unordered set in a semantics-bearing "
+                "module",
+        "D004": "id()-derived value in a semantics-bearing module "
+                "(address-dependent ordering)",
+    }
+
+    def check_file(self, src: SourceFile,
+                   ctx: LintContext) -> Iterable[Finding]:
+        if src.rel not in ctx.semantics:
+            return
+        aliases = _module_aliases(src.tree)
+        rand = aliases.get("random", set())
+        time_mods = aliases.get("time", set())
+        os_mods = aliases.get("os", set())
+        uuid_mods = aliases.get("uuid", set())
+        dt_classes = _datetime_aliases(src.tree)
+
+        for node in ast.walk(src.tree):
+            if isinstance(node, ast.ImportFrom) and not node.level:
+                yield from self._check_from_import(src, node)
+            elif isinstance(node, ast.Attribute):
+                name = node.attr
+                base = node.value
+                if isinstance(base, ast.Name):
+                    if base.id in rand and name != "Random":
+                        yield src.finding(
+                            "D001", node,
+                            f"module-level random state used "
+                            f"(random.{name})",
+                            "draw from an explicit random.Random(seed)")
+                    elif base.id in time_mods and name in _CLOCK_FNS:
+                        yield src.finding(
+                            "D002", node,
+                            f"wall-clock read (time.{name}) in "
+                            f"semantics code",
+                            "timing belongs in obs/experiments layers")
+                    elif base.id in os_mods and name == "urandom":
+                        yield src.finding(
+                            "D002", node, "os.urandom in semantics code",
+                            "derive bytes from the run seed instead")
+                    elif base.id in uuid_mods and name in ("uuid1",
+                                                           "uuid4"):
+                        yield src.finding(
+                            "D002", node,
+                            f"entropy-based uuid.{name} in semantics "
+                            f"code",
+                            "use a seed-derived identifier")
+                    elif base.id in dt_classes and name in _NOW_FNS:
+                        yield src.finding(
+                            "D002", node,
+                            f"datetime.{name}() in semantics code",
+                            "timestamps belong in obs/experiments layers")
+            elif isinstance(node, ast.Call):
+                func = node.func
+                if (isinstance(func, ast.Attribute)
+                        and func.attr == "Random"
+                        and isinstance(func.value, ast.Name)
+                        and func.value.id in rand
+                        and not node.args and not node.keywords):
+                    yield src.finding(
+                        "D001", node,
+                        "random.Random() constructed without a seed",
+                        "pass an explicit seed")
+                elif (isinstance(func, ast.Name) and func.id == "id"
+                        and len(node.args) == 1):
+                    yield src.finding(
+                        "D004", node,
+                        "id() in semantics code — values differ per "
+                        "process and can leak into ordering",
+                        "key on a stable field (seq, name) instead")
+                for kw in node.keywords:
+                    if (kw.arg == "key" and isinstance(kw.value, ast.Name)
+                            and kw.value.id == "id"):
+                        yield src.finding(
+                            "D004", kw.value,
+                            "key=id sorts by object address",
+                            "key on a stable field (seq, name) instead")
+            elif isinstance(node, (ast.For, ast.AsyncFor)):
+                if _is_set_expr(node.iter):
+                    yield src.finding(
+                        "D003", node.iter,
+                        "iterating a set literal/constructor — order is "
+                        "unspecified",
+                        "wrap in sorted(...) or use a tuple/list")
+            elif isinstance(node, (ast.ListComp, ast.SetComp,
+                                   ast.GeneratorExp, ast.DictComp)):
+                for gen in node.generators:
+                    if _is_set_expr(gen.iter):
+                        yield src.finding(
+                            "D003", gen.iter,
+                            "comprehension over a set — order is "
+                            "unspecified",
+                            "wrap in sorted(...) or use a tuple/list")
+
+    def _check_from_import(self, src: SourceFile,
+                           node: ast.ImportFrom) -> Iterable[Finding]:
+        if node.module == "random":
+            for alias in node.names:
+                if alias.name != "Random":
+                    yield src.finding(
+                        "D001", node,
+                        f"'from random import {alias.name}' binds "
+                        f"module-level random state",
+                        "import Random and seed an instance")
+        elif node.module == "time":
+            for alias in node.names:
+                if alias.name in _CLOCK_FNS:
+                    yield src.finding(
+                        "D002", node,
+                        f"'from time import {alias.name}' in semantics "
+                        f"code",
+                        "timing belongs in obs/experiments layers")
+
+
+def _module_aliases(tree: ast.AST) -> Dict[str, Set[str]]:
+    """module name -> local names it is bound to (``import x as y``)."""
+    out: Dict[str, Set[str]] = {}
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                top = alias.name.split(".")[0]
+                local = alias.asname or top
+                out.setdefault(top, set()).add(local)
+    return out
+
+
+def _datetime_aliases(tree: ast.AST) -> Set[str]:
+    """Local names bound to the ``datetime.datetime`` class or module."""
+    names: Set[str] = {"datetime"}
+    for node in ast.walk(tree):
+        if (isinstance(node, ast.ImportFrom) and node.module == "datetime"):
+            for alias in node.names:
+                if alias.name == "datetime":
+                    names.add(alias.asname or alias.name)
+    return names

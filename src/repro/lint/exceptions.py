@@ -1,0 +1,51 @@
+"""Broad-except rule (E001): swallow nothing by accident.
+
+``except Exception`` (or a bare ``except``) around simulator code
+hides ``SimulationError``/assertion failures and turns an
+architecturally impossible state into a silently wrong figure.  The
+crash-isolation boundaries of the sweep engine legitimately need it —
+they mark themselves with ``# lint: allow-broad-except`` on the
+handler line.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable
+
+from .core import Finding, LintContext, Rule, SourceFile
+
+_BROAD = frozenset({"Exception", "BaseException"})
+
+
+def _broad_name(node) -> str:
+    """The broad exception name caught by this handler type, or ''."""
+    if node is None:
+        return "bare except"
+    if isinstance(node, ast.Name) and node.id in _BROAD:
+        return node.id
+    if isinstance(node, ast.Tuple):
+        for elt in node.elts:
+            name = _broad_name(elt)
+            if name and name != "bare except":
+                return name
+    return ""
+
+
+class BroadExceptRule(Rule):
+    ids = {"E001": "broad or bare except handler"}
+
+    def check_file(self, src: SourceFile,
+                   ctx: LintContext) -> Iterable[Finding]:
+        for node in ast.walk(src.tree):
+            if not isinstance(node, ast.ExceptHandler):
+                continue
+            name = _broad_name(node.type)
+            if name:
+                yield src.finding(
+                    "E001", node,
+                    f"{name} handler catches everything, including "
+                    f"simulator invariant violations",
+                    "narrow the exception type, or mark an intended "
+                    "isolation boundary with "
+                    "'# lint: allow-broad-except'")

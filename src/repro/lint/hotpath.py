@@ -1,0 +1,124 @@
+"""Hot-path hygiene rules (H001–H002): pooled objects stay honest.
+
+The cycle loop recycles ``DynInst`` objects through a free pool; a
+pooled class without ``__slots__`` silently grows a ``__dict__`` (and
+loses the attribute-error safety net), and a ``__slots__`` field the
+pool-reset method forgets to reassign carries a *stale value from a
+previous dynamic instruction* into the next one — the exact bug class
+object pooling introduces, invisible to every test that doesn't
+recycle.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable, List, Optional, Set
+
+from .core import Finding, LintContext, Rule, SourceFile
+
+
+def _slot_names(cls: ast.ClassDef) -> Optional[List[str]]:
+    """Statically resolved ``__slots__`` names, or ``None`` if the
+    class has no (resolvable) ``__slots__``."""
+    for node in cls.body:
+        if not isinstance(node, (ast.Assign, ast.AnnAssign)):
+            continue
+        targets = node.targets if isinstance(node, ast.Assign) \
+            else [node.target]
+        if not any(isinstance(t, ast.Name) and t.id == "__slots__"
+                   for t in targets):
+            continue
+        value = node.value
+        if isinstance(value, ast.Constant) and isinstance(value.value, str):
+            return [value.value]
+        if isinstance(value, (ast.Tuple, ast.List, ast.Set)):
+            names = []
+            for elt in value.elts:
+                if not (isinstance(elt, ast.Constant)
+                        and isinstance(elt.value, str)):
+                    return None  # dynamic element: give up, don't guess
+                names.append(elt.value)
+            return names
+        return None
+    return None
+
+
+def _reset_method(cls: ast.ClassDef,
+                  names: Iterable[str]) -> Optional[ast.FunctionDef]:
+    for node in cls.body:
+        if isinstance(node, ast.FunctionDef) and node.name in names:
+            return node
+    return None
+
+
+def _assigned_self_attrs(cls: ast.ClassDef, fn: ast.FunctionDef,
+                         depth: int = 1) -> Set[str]:
+    """``self.X`` names plainly assigned in ``fn``, following calls to
+    sibling methods (``self.helper()``) ``depth`` levels deep."""
+    out: Set[str] = set()
+    callees: Set[str] = set()
+
+    def collect_target(t: ast.AST) -> None:
+        if (isinstance(t, ast.Attribute) and isinstance(t.value, ast.Name)
+                and t.value.id == "self"):
+            out.add(t.attr)
+        elif isinstance(t, (ast.Tuple, ast.List)):
+            for elt in t.elts:
+                collect_target(elt)
+
+    for node in ast.walk(fn):
+        if isinstance(node, ast.Assign):
+            for t in node.targets:
+                collect_target(t)
+        elif isinstance(node, ast.AnnAssign) and node.value is not None:
+            collect_target(node.target)
+        elif isinstance(node, ast.Call):
+            f = node.func
+            if (isinstance(f, ast.Attribute)
+                    and isinstance(f.value, ast.Name)
+                    and f.value.id == "self"):
+                callees.add(f.attr)
+    if depth > 0:
+        for name in callees:
+            callee = _reset_method(cls, (name,))
+            if callee is not None and callee.name != fn.name:
+                out |= _assigned_self_attrs(cls, callee, depth - 1)
+    return out
+
+
+class HotPathRule(Rule):
+    ids = {
+        "H001": "pooled / hot-path class without __slots__",
+        "H002": "__slots__ field not reassigned by the pool-reset "
+                "method (stale-value hazard)",
+    }
+
+    def check_file(self, src: SourceFile,
+                   ctx: LintContext) -> Iterable[Finding]:
+        cfg = ctx.cfg
+        slots_everywhere = src.rel in cfg.slots_modules
+        for node in ast.walk(src.tree):
+            if not isinstance(node, ast.ClassDef):
+                continue
+            slots = _slot_names(node)
+            reset = _reset_method(node, cfg.reset_methods)
+            if slots is None and (slots_everywhere or reset is not None):
+                why = ("hot-path module" if slots_everywhere
+                       else f"pooled (has {reset.name}())")
+                yield src.finding(
+                    "H001", node,
+                    f"class {node.name} is {why} but declares no "
+                    f"__slots__",
+                    "declare __slots__ with every instance field")
+                continue
+            if slots is None or reset is None:
+                continue
+            assigned = _assigned_self_attrs(node, reset)
+            missing = [s for s in slots if s not in assigned]
+            if missing:
+                yield src.finding(
+                    "H002", reset,
+                    f"{node.name}.{reset.name}() does not reassign "
+                    f"__slots__ field(s): {', '.join(missing)}",
+                    "reset every slot, or a recycled instance leaks "
+                    "the previous occupant's value")

@@ -1,0 +1,111 @@
+"""Layering rules (L001–L002): the import DAG stays a DAG.
+
+The package is layered: simulation semantics at the bottom, then
+observability, then the experiment engine, then lint, then the CLI.
+A lower layer importing a higher one at module level couples
+semantics to presentation (and silently widens the semantics source
+hash); a cycle makes import order — and therefore behaviour — depend
+on which module happens to load first.  Function-local ("lazy")
+imports are the sanctioned escape hatch and are not edges here.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List
+
+from .core import Finding, LintContext, Rule
+
+
+class LayeringRule(Rule):
+    ids = {
+        "L001": "lower layer imports a higher layer at module level",
+        "L002": "module-level import cycle",
+    }
+
+    def check_tree(self, ctx: LintContext) -> Iterable[Finding]:
+        by_module = {f.module: f for f in ctx.files}
+        # L001: upward edges.
+        for mod, edges in sorted(ctx.imports.items()):
+            src = by_module[mod]
+            own = ctx.rank_of(mod)
+            for target, line in edges:
+                if ctx.rank_of(target) > own:
+                    yield src.finding(
+                        "L001", line,
+                        f"{mod} (layer '{ctx.layer_of(mod) or 'root'}') "
+                        f"imports {target} (higher layer "
+                        f"'{ctx.layer_of(target)}') at module level",
+                        "import lazily inside the function that needs "
+                        "it, or move the shared piece to a lower layer")
+        # L002: strongly connected components of the internal graph.
+        graph: Dict[str, List[str]] = {
+            mod: sorted({t for t, _ in edges if t in ctx.modules})
+            for mod, edges in ctx.imports.items()}
+        for comp in _sccs(graph):
+            cyclic = len(comp) > 1 or comp[0] in graph.get(comp[0], ())
+            if not cyclic:
+                continue
+            comp = sorted(comp)
+            src = by_module[comp[0]]
+            line = next((ln for t, ln in ctx.imports[comp[0]]
+                         if t in comp), 1)
+            yield src.finding(
+                "L002", line,
+                "module-level import cycle: " + " -> ".join(
+                    comp + [comp[0]]),
+                "break the cycle with a lazy import or an extracted "
+                "leaf module")
+
+
+def _sccs(graph: Dict[str, List[str]]) -> List[List[str]]:
+    """Tarjan's strongly connected components, iterative, sorted
+    traversal for deterministic output."""
+    index: Dict[str, int] = {}
+    low: Dict[str, int] = {}
+    on_stack: Dict[str, bool] = {}
+    stack: List[str] = []
+    out: List[List[str]] = []
+    counter = [0]
+
+    def strongconnect(root: str) -> None:
+        work = [(root, iter(graph.get(root, ())))]
+        index[root] = low[root] = counter[0]
+        counter[0] += 1
+        stack.append(root)
+        on_stack[root] = True
+        while work:
+            node, it = work[-1]
+            advanced = False
+            for succ in it:
+                if succ not in graph:
+                    continue
+                if succ not in index:
+                    index[succ] = low[succ] = counter[0]
+                    counter[0] += 1
+                    stack.append(succ)
+                    on_stack[succ] = True
+                    work.append((succ, iter(graph.get(succ, ()))))
+                    advanced = True
+                    break
+                if on_stack.get(succ):
+                    low[node] = min(low[node], index[succ])
+            if advanced:
+                continue
+            work.pop()
+            if work:
+                parent = work[-1][0]
+                low[parent] = min(low[parent], low[node])
+            if low[node] == index[node]:
+                comp = []
+                while True:
+                    w = stack.pop()
+                    on_stack[w] = False
+                    comp.append(w)
+                    if w == node:
+                        break
+                out.append(comp)
+
+    for mod in sorted(graph):
+        if mod not in index:
+            strongconnect(mod)
+    return out

@@ -5,7 +5,7 @@ from __future__ import annotations
 from typing import Callable
 
 from repro.config import MachineConfig
-from repro.obs import NULL_TRACER
+from repro.hooks import NULL_TRACER
 
 from .cache import Cache
 from .memory import MainMemory

@@ -29,6 +29,17 @@ from collections import deque
 from pathlib import Path
 from typing import Dict, Iterable, Iterator, List, Optional
 
+# The shared disabled tracer lives in the dependency-free
+# repro.hooks leaf so the simulation layers can default to it
+# without importing repro.obs (lint rule L001); re-exported here
+# because it is part of this module's public API.
+from repro.hooks import NULL_TRACER, NullTracer
+
+__all__ = [
+    "TraceSink", "RingBufferSink", "JsonlSink", "Tracer",
+    "NullTracer", "NULL_TRACER", "build_tracer", "read_jsonl",
+]
+
 
 class TraceSink:
     """Interface: receives event dicts; owns no event ordering logic."""
@@ -127,12 +138,8 @@ class Tracer:
         return []
 
 
-#: Shared disabled tracer: the default for every instrumented object.
-NULL_TRACER = Tracer(enabled=False)
-
-
 def build_tracer(trace: bool = False, out: Optional[str] = None,
-                 ring: int = 65536) -> Tracer:
+                 ring: int = 65536):
     """Sink selection for the CLI: ring buffer always (when tracing),
     plus a JSONL file when ``out`` is given.  ``--trace-out`` implies
     ``--trace``."""

@@ -33,7 +33,7 @@ from repro.config import MachineConfig
 from repro.frontend.branch import HybridPredictor
 from repro.isa.instruction import CTRL_BR, CTRL_CALL, CTRL_COND, CTRL_RET
 from repro.mem.hierarchy import MemoryHierarchy
-from repro.obs import NULL_TRACER
+from repro.hooks import NULL_TRACER
 from repro.rename.base import RenameEngine
 
 from .alu import _build_exec
@@ -139,6 +139,7 @@ class Pipeline:
             "int": 1,
             "imul": cfg.int_mult_latency,
             "fp": cfg.fp_add_latency,
+            "fpmul": cfg.fp_mul_latency,
             "fdiv": cfg.fp_div_latency,
         }
         # Fetch-to-rename distance; VCA pays one extra rename stage

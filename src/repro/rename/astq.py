@@ -22,7 +22,7 @@ from collections import deque
 from typing import Callable, List, Optional
 
 from repro.mem.hierarchy import MemoryHierarchy
-from repro.obs import NULL_TRACER
+from repro.hooks import NULL_TRACER
 
 from .regfile import PhysReg, PhysRegFile
 

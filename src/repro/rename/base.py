@@ -8,7 +8,7 @@ from typing import Callable, Optional, TYPE_CHECKING
 
 from repro.config import MachineConfig
 from repro.mem.hierarchy import MemoryHierarchy
-from repro.obs import NULL_TRACER
+from repro.hooks import NULL_TRACER
 
 from .regfile import PhysRegFile
 

@@ -646,4 +646,14 @@ class VcaRename(RenameEngine):
         p = self.table.peek(key)
         if p is not None:
             return p.value
+        # An evicted committed value whose spill has not issued yet
+        # lives in the ASTQ, not memory; forward from the youngest
+        # matching pending spill, store-queue style.  Issued spills
+        # write memory at issue time, so in-flight entries are already
+        # visible through read_word.
+        astq = self._astq
+        if astq is not None:
+            for op in reversed(astq.queue):
+                if op.kind == "spill" and op.addr == laddr:
+                    return op.value
         return self.hierarchy.read_word(laddr)

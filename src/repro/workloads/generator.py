@@ -95,16 +95,27 @@ class BenchmarkBuilder:
         self.seed = seed
 
     # ------------------------------------------------------------------
+    def _rng(self, name: str, salt: int = 0) -> random.Random:
+        """A fresh, explicitly seeded per-stream RNG.
+
+        Every byte of randomness in a generated benchmark flows
+        through one of these instances, seeded from ``(name, salt,
+        --seed)`` — never the shared module-level ``random`` state —
+        so program generation is reproducible regardless of what else
+        the process has done (determinism lint rule D001).
+        """
+        return random.Random(_seed_for(name, salt, seed=self.seed))
+
     def build(self) -> ProgramBuilder:
         p = self.profile
-        rng = random.Random(_seed_for(p.name, seed=self.seed))
+        rng = self._rng(p.name)
         pb = ProgramBuilder(thread=self.thread, name=p.name)
         self.out_addr = pb.alloc(1)
         ws = p.working_set
         self.int_arr = pb.alloc(ws)
         self.fp_arr = pb.alloc(ws) if (p.fp or p.fp_frac) else None
         if p.chase_frac or not p.seq_stride:
-            arr_rng = random.Random(_seed_for(p.name, 1, seed=self.seed))
+            arr_rng = self._rng(p.name, 1)
             for i in range(ws):
                 pb.word(self.int_arr + i * 8, arr_rng.randrange(ws))
 
@@ -199,7 +210,7 @@ class BenchmarkBuilder:
         f = pb.function(fname)
         # Each function gets its own stream so parameter changes in one
         # function never reshuffle its siblings (keeps tuning stable).
-        rng = random.Random(_seed_for(fname, 2, seed=self.seed))
+        rng = self._rng(fname, 2)
         n_int = max(4, p.locals_int + rng.randrange(-1, 2))
         n_fp = max(0, p.locals_fp + (rng.randrange(-1, 2) if p.locals_fp else 0))
         ctx = self._setup_ctx(f, rng, n_int, n_fp)
@@ -246,7 +257,7 @@ class BenchmarkBuilder:
         approximate dynamic cost per recursion level."""
         p = self.profile
         f = pb.function(f"{p.name}_rec")
-        rng = random.Random(_seed_for(p.name, 3, seed=self.seed))
+        rng = self._rng(p.name, 3)
         f.cmplti(_S1, 0, 1)
         f.bne(_S1, "base")
         n_int = max(5, p.locals_int)

@@ -1,0 +1,15 @@
+"""Golden NEGATIVE example: unannotated broad handlers (E001)."""
+
+
+def swallow(fn):
+    try:
+        return fn()
+    except Exception:       # E001: unannotated
+        return None
+
+
+def swallow_harder(fn):
+    try:
+        return fn()
+    except:                 # noqa: E722 — E001: bare except
+        return None

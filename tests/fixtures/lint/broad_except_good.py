@@ -1,0 +1,15 @@
+"""Golden POSITIVE example: narrow or annotated handlers."""
+
+
+def narrow(fn):
+    try:
+        return fn()
+    except (OSError, ValueError):
+        return None
+
+
+def isolation_boundary(fn):
+    try:
+        return fn()
+    except Exception:  # lint: allow-broad-except (worker isolation)
+        return None

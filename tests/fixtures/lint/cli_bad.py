@@ -1,0 +1,14 @@
+"""Golden NEGATIVE example: an undocumented CLI flag (C002).
+
+Installed as ``fakepkg/cli.py``; the harness writes a README that
+mentions ``--documented`` but not ``--ghost-flag``.
+"""
+
+import argparse
+
+
+def build_parser():
+    parser = argparse.ArgumentParser()
+    parser.add_argument("--documented", action="store_true")
+    parser.add_argument("--ghost-flag", action="store_true")  # C002
+    return parser

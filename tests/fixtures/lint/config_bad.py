@@ -1,0 +1,13 @@
+"""Golden NEGATIVE example: a config knob nothing reads (C001).
+
+Installed as ``fakepkg/config.py``; ``fakepkg/consumer.py`` reads
+``width`` but nothing ever reads ``ghost_knob``.
+"""
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class Config:
+    width: int = 4
+    ghost_knob: int = 0  # C001: never read anywhere

@@ -1,0 +1,22 @@
+"""Golden NEGATIVE example: every determinism rule should fire here."""
+
+import os
+import random
+import time
+from random import shuffle  # D001: binds module-level random state
+
+
+def pick(items):
+    random.seed(42)                    # D001: module-level state
+    choice = random.randrange(len(items))   # D001
+    rng = random.Random()              # D001: Random() without a seed
+    stamp = time.time()                # D002: wall clock
+    token = os.urandom(8)              # D002: OS entropy
+    shuffle(items)
+    order = sorted(items, key=id)      # D004: address ordering
+    marker = id(items)                 # D004
+    total = 0
+    for x in {1, 2, 3}:                # D003: set literal iteration
+        total += x
+    doubled = [y * 2 for y in set(items)]   # D003: set() comprehension
+    return choice, rng, stamp, token, order, marker, total, doubled

@@ -1,0 +1,14 @@
+"""Golden POSITIVE example: seeded, ordered, clock-free semantics."""
+
+import random
+
+
+def pick(items, seed):
+    rng = random.Random(seed)          # explicit seed: fine
+    choice = rng.randrange(len(items))
+    order = sorted(items)              # stable key: fine
+    total = 0
+    for x in sorted({1, 2, 3}):        # sorted() set iteration: fine
+        total += x
+    doubled = [y * 2 for y in sorted(set(items))]
+    return choice, order, total, doubled

@@ -1,0 +1,11 @@
+"""Golden NEGATIVE example: simulation code importing upward (L001).
+
+Installed as ``fakepkg/pipeline/mod.py`` by the test harness: a
+semantics-layer module must not import the obs layer at module level.
+"""
+
+from fakepkg.obs import helpers  # L001
+
+
+def simulate():
+    return helpers.NULL

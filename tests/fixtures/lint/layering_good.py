@@ -1,0 +1,17 @@
+"""Golden POSITIVE example: downward and lazy imports only.
+
+Installed as ``fakepkg/pipeline/mod.py`` by the test harness.
+"""
+
+from fakepkg.config import WIDTH  # downward: fine
+
+
+def simulate():
+    return WIDTH
+
+
+def render():
+    # Lazy upward import inside a function: the sanctioned escape
+    # hatch — not a module-level edge.
+    from fakepkg.obs import helpers
+    return helpers.NULL

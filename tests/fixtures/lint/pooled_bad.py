@@ -1,0 +1,27 @@
+"""Golden NEGATIVE example for the hot-path rules.
+
+``Slotless`` has a pool-reset method but no ``__slots__`` (H001);
+``Stale.reinit`` forgets to reassign the ``result`` slot (H002) — a
+recycled instance would leak the previous occupant's value.
+"""
+
+
+class Slotless:
+    def __init__(self):
+        self.reinit(0)
+
+    def reinit(self, seq):
+        self.seq = seq
+
+
+class Stale:
+    __slots__ = ("seq", "pc", "result")
+
+    def __init__(self):
+        self.result = None
+        self.reinit(0, 0)
+
+    def reinit(self, seq, pc):
+        self.seq = seq
+        self.pc = pc
+        # BUG: self.result is not reset

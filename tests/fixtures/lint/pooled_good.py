@@ -1,0 +1,27 @@
+"""Golden POSITIVE example: a pooled class done right.
+
+``__slots__`` declared, and ``reinit`` reassigns every slot — one of
+them through a helper method, which the checker follows one level.
+"""
+
+
+class Pooled:
+    __slots__ = ("seq", "pc", "result")
+
+    def __init__(self):
+        self.reinit(0, 0)
+
+    def reinit(self, seq, pc):
+        self.seq = seq
+        self.pc = pc
+        self._clear_result()
+
+    def _clear_result(self):
+        self.result = None
+
+
+class NotPooled:
+    """No reset method, not in a hot-path module: no slots needed."""
+
+    def __init__(self, x):
+        self.x = x

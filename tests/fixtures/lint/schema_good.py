@@ -1,0 +1,9 @@
+"""Golden POSITIVE example: every emitted name is in the registry."""
+
+
+def instrument(tr, metrics, cycle, tid, cause):
+    if tr.enabled:
+        tr.emit(cycle, tid, "spill", addr=4, cause=cause)
+    metrics.inc("vca.spills")
+    metrics.inc("vca.spill." + cause)       # matches vca.spill.*
+    metrics.dist("vca.spill_burst_len").record(3)

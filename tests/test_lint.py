@@ -1,0 +1,399 @@
+"""simlint: golden-fixture positives/negatives per rule family, the
+framework mechanics (pragmas, baseline, fingerprints, CLI), and the
+meta-test that the live tree lints clean with an empty baseline."""
+
+import json
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.cli import main as cli_main
+from repro.lint import (
+    LintConfig, default_config, lint_tree, load_baseline, rule_catalog,
+    save_baseline,
+)
+
+REPO = Path(__file__).resolve().parents[1]
+FIXTURES = Path(__file__).resolve().parent / "fixtures" / "lint"
+
+
+def fixture(name: str) -> str:
+    return (FIXTURES / name).read_text()
+
+
+def make_pkg(tmp_path, files, **overrides) -> LintConfig:
+    """Materialise a synthetic ``fakepkg`` tree and a LintConfig for
+    it (schema registries default to the real ``repro.obs.schema``)."""
+    root = tmp_path / "fakepkg"
+    root.mkdir(parents=True, exist_ok=True)
+    (root / "__init__.py").write_text("")
+    for rel, text in files.items():
+        p = root / rel
+        p.parent.mkdir(parents=True, exist_ok=True)
+        p.write_text(text)
+        d = p.parent
+        while d != root:
+            init = d / "__init__.py"
+            if not init.exists():
+                init.write_text("")
+            d = d.parent
+    defaults = dict(package_root=root, package_name="fakepkg",
+                    repo_root=None, slots_modules=())
+    defaults.update(overrides)
+    return LintConfig(**defaults)
+
+
+def rule_ids(findings):
+    return {f.rule for f in findings}
+
+
+# ---------------------------------------------------------------------------
+# determinism (D001-D004)
+# ---------------------------------------------------------------------------
+
+class TestDeterminism:
+    def test_bad_fixture_trips_every_rule(self, tmp_path):
+        cfg = make_pkg(tmp_path,
+                       {"gen.py": fixture("determinism_bad.py")})
+        findings = lint_tree(cfg)
+        assert rule_ids(findings) == {"D001", "D002", "D003", "D004"}
+        by_rule = {}
+        for f in findings:
+            by_rule.setdefault(f.rule, []).append(f)
+        assert len(by_rule["D001"]) >= 4   # import, seed, randrange, Random()
+        assert len(by_rule["D002"]) >= 2   # time.time, os.urandom
+        assert len(by_rule["D003"]) == 2   # for-loop + comprehension
+        assert len(by_rule["D004"]) == 2   # key=id + id()
+
+    def test_good_fixture_is_clean(self, tmp_path):
+        cfg = make_pkg(tmp_path,
+                       {"gen.py": fixture("determinism_good.py")})
+        assert lint_tree(cfg) == []
+
+    def test_excluded_modules_are_not_policed(self, tmp_path):
+        # The same dirty code in an obs/ module (outside the semantics
+        # hash) is none of the determinism rules' business.
+        cfg = make_pkg(tmp_path,
+                       {"obs/gen.py": fixture("determinism_bad.py")})
+        assert not rule_ids(lint_tree(cfg)) & {"D001", "D002", "D003",
+                                               "D004"}
+
+    def test_semantics_set_shares_hash_exclude(self):
+        from repro.experiments.runner import HASH_EXCLUDE
+        assert LintConfig(package_root=REPO / "src" / "repro"
+                          ).hash_exclude == HASH_EXCLUDE
+        assert "lint" in HASH_EXCLUDE   # lint itself never keys the cache
+
+    def test_findings_carry_location_and_hint(self, tmp_path):
+        cfg = make_pkg(tmp_path,
+                       {"gen.py": fixture("determinism_bad.py")})
+        f = [f for f in lint_tree(cfg) if f.rule == "D003"][0]
+        assert f.path.endswith("gen.py") and f.line > 1 and f.hint
+        assert "gen.py:" in f.render()
+
+
+# ---------------------------------------------------------------------------
+# layering (L001-L002)
+# ---------------------------------------------------------------------------
+
+class TestLayering:
+    def test_upward_import_is_flagged(self, tmp_path):
+        cfg = make_pkg(tmp_path, {
+            "pipeline/mod.py": fixture("layering_bad.py"),
+            "obs/helpers.py": "NULL = None\n"})
+        findings = [f for f in lint_tree(cfg) if f.rule == "L001"]
+        assert len(findings) == 1
+        assert "fakepkg.obs" in findings[0].message
+        assert findings[0].path.endswith("pipeline/mod.py")
+
+    def test_downward_and_lazy_imports_are_fine(self, tmp_path):
+        cfg = make_pkg(tmp_path, {
+            "pipeline/mod.py": fixture("layering_good.py"),
+            "obs/helpers.py": "NULL = None\n",
+            "config.py": "WIDTH = 4\n"})
+        assert not rule_ids(lint_tree(cfg)) & {"L001", "L002"}
+
+    def test_cycle_is_flagged(self, tmp_path):
+        cfg = make_pkg(tmp_path, {
+            "a.py": "import fakepkg.b\n",
+            "b.py": "import fakepkg.a\n"})
+        findings = [f for f in lint_tree(cfg) if f.rule == "L002"]
+        assert len(findings) == 1
+        assert "fakepkg.a -> fakepkg.b -> fakepkg.a" \
+            in findings[0].message
+
+    def test_relative_imports_resolve(self, tmp_path):
+        # `from ..obs import helpers` from inside pipeline/ is the
+        # same upward edge as the absolute spelling.
+        cfg = make_pkg(tmp_path, {
+            "pipeline/mod.py": "from ..obs import helpers\n",
+            "obs/helpers.py": "NULL = None\n"})
+        assert "L001" in rule_ids(lint_tree(cfg))
+
+
+# ---------------------------------------------------------------------------
+# hot-path hygiene (H001-H002)
+# ---------------------------------------------------------------------------
+
+class TestHotPath:
+    def test_bad_fixture(self, tmp_path):
+        cfg = make_pkg(tmp_path,
+                       {"pool.py": fixture("pooled_bad.py")})
+        findings = lint_tree(cfg)
+        assert rule_ids(findings) == {"H001", "H002"}
+        h2 = [f for f in findings if f.rule == "H002"][0]
+        assert "result" in h2.message and "Stale" in h2.message
+
+    def test_good_fixture_follows_helper_methods(self, tmp_path):
+        cfg = make_pkg(tmp_path,
+                       {"pool.py": fixture("pooled_good.py")})
+        assert lint_tree(cfg) == []
+
+    def test_slots_required_module(self, tmp_path):
+        cfg = make_pkg(
+            tmp_path,
+            {"pipeline/dyninst.py":
+             "class Thing:\n    def __init__(self):\n"
+             "        self.x = 1\n"},
+            slots_modules=("pipeline/dyninst.py",))
+        findings = [f for f in lint_tree(cfg) if f.rule == "H001"]
+        assert len(findings) == 1 and "Thing" in findings[0].message
+
+
+# ---------------------------------------------------------------------------
+# metrics/trace schema (S001-S005)
+# ---------------------------------------------------------------------------
+
+class TestSchema:
+    def test_bad_fixture(self, tmp_path):
+        cfg = make_pkg(tmp_path,
+                       {"instr.py": fixture("schema_bad.py")})
+        findings = lint_tree(cfg)
+        assert rule_ids(findings) == {"S001", "S002", "S004", "S005"}
+        s1 = [f for f in findings if f.rule == "S001"][0]
+        assert "teleport" in s1.message
+        assert len([f for f in findings if f.rule == "S002"]) == 2
+        s5 = [f for f in findings if f.rule == "S005"][0]
+        assert "speed" in s5.message
+
+    def test_good_fixture_with_wildcard_match(self, tmp_path):
+        cfg = make_pkg(tmp_path,
+                       {"instr.py": fixture("schema_good.py")})
+        assert lint_tree(cfg) == []
+
+    def test_stale_registry_entry(self, tmp_path):
+        cfg = make_pkg(
+            tmp_path,
+            {"obs/schema.py": "GHOST = 'ghost.counter'\n",
+             "instr.py": "def f(metrics):\n"
+                         "    metrics.inc('pipeline.cycles')\n"},
+            events={}, counters=("pipeline.cycles", "ghost.counter"),
+            dists=())
+        findings = [f for f in lint_tree(cfg) if f.rule == "S003"]
+        assert len(findings) == 1
+        assert "ghost.counter" in findings[0].message
+        assert findings[0].path.endswith("obs/schema.py")
+        assert findings[0].line == 1  # anchored at the quoted entry
+
+    def test_stale_check_skipped_without_registry_module(self, tmp_path):
+        # A tree that doesn't carry obs/schema.py (e.g. --root on a
+        # foreign package) must not drown in S003 noise.
+        cfg = make_pkg(tmp_path, {"empty.py": "X = 1\n"})
+        assert not [f for f in lint_tree(cfg) if f.rule == "S003"]
+
+
+# ---------------------------------------------------------------------------
+# config/CLI coverage (C001-C002)
+# ---------------------------------------------------------------------------
+
+class TestCoverage:
+    def test_unread_config_field(self, tmp_path):
+        cfg = make_pkg(tmp_path, {
+            "config.py": fixture("config_bad.py"),
+            "consumer.py": "def use(cfg):\n    return cfg.width\n"})
+        findings = [f for f in lint_tree(cfg) if f.rule == "C001"]
+        assert len(findings) == 1
+        assert "ghost_knob" in findings[0].message
+        assert not any("width" in f.message for f in findings)
+
+    def test_undocumented_cli_flag(self, tmp_path):
+        (tmp_path / "README.md").write_text(
+            "Use `--documented` to document things.\n")
+        cfg = make_pkg(tmp_path, {"cli.py": fixture("cli_bad.py")},
+                       repo_root=tmp_path)
+        findings = [f for f in lint_tree(cfg) if f.rule == "C002"]
+        assert len(findings) == 1
+        assert "--ghost-flag" in findings[0].message
+
+    def test_docs_check_skipped_without_repo_root(self, tmp_path):
+        cfg = make_pkg(tmp_path, {"cli.py": fixture("cli_bad.py")})
+        assert not [f for f in lint_tree(cfg) if f.rule == "C002"]
+
+
+# ---------------------------------------------------------------------------
+# broad excepts (E001) and pragmas
+# ---------------------------------------------------------------------------
+
+class TestBroadExcept:
+    def test_bad_fixture(self, tmp_path):
+        cfg = make_pkg(tmp_path,
+                       {"eng.py": fixture("broad_except_bad.py")})
+        findings = [f for f in lint_tree(cfg) if f.rule == "E001"]
+        assert len(findings) == 2  # except Exception + bare except
+
+    def test_good_fixture_pragma_and_narrow(self, tmp_path):
+        cfg = make_pkg(tmp_path,
+                       {"eng.py": fixture("broad_except_good.py")})
+        assert lint_tree(cfg) == []
+
+
+class TestPragmas:
+    def test_disable_suppresses_on_its_line_only(self, tmp_path):
+        src = ("import random\n"
+               "a = random.randrange(4)  # lint: disable=D001\n"
+               "b = random.randrange(4)\n")
+        cfg = make_pkg(tmp_path, {"gen.py": src})
+        findings = [f for f in lint_tree(cfg) if f.rule == "D001"]
+        assert len(findings) == 1 and findings[0].line == 3
+
+    def test_skip_file(self, tmp_path):
+        src = "# lint: skip-file\n" + fixture("determinism_bad.py")
+        cfg = make_pkg(tmp_path, {"gen.py": src})
+        assert lint_tree(cfg) == []
+
+    def test_parse_error_is_a_finding(self, tmp_path):
+        cfg = make_pkg(tmp_path, {"broken.py": "def oops(:\n"})
+        findings = lint_tree(cfg)
+        assert [f.rule for f in findings] == ["F000"]
+
+
+# ---------------------------------------------------------------------------
+# baseline + fingerprints
+# ---------------------------------------------------------------------------
+
+class TestBaseline:
+    def test_fingerprint_is_line_independent(self, tmp_path):
+        src = "import random\nx = random.randrange(4)\n"
+        cfg1 = make_pkg(tmp_path / "one", {"gen.py": src})
+        cfg2 = make_pkg(tmp_path / "two",
+                        {"gen.py": "# shifted\n# down\n" + src})
+        fp1 = [f.fingerprint() for f in lint_tree(cfg1)]
+        fp2 = [f.fingerprint() for f in lint_tree(cfg2)]
+        assert fp1 == fp2 and len(fp1) == 1
+
+    def test_save_load_roundtrip(self, tmp_path):
+        cfg = make_pkg(tmp_path,
+                       {"gen.py": "import random\n"
+                                  "x = random.randrange(4)\n"})
+        findings = lint_tree(cfg)
+        path = tmp_path / "baseline.json"
+        save_baseline(path, findings)
+        assert load_baseline(path) == {f.fingerprint() for f in findings}
+        data = json.loads(path.read_text())
+        assert data["version"] == 1 and data["entries"][0]["rule"] == "D001"
+
+    def test_unreadable_baseline_hides_nothing(self, tmp_path):
+        assert load_baseline(tmp_path / "missing.json") == set()
+        bad = tmp_path / "bad.json"
+        bad.write_text("{not json")
+        assert load_baseline(bad) == set()
+
+    def test_checked_in_baseline_is_empty(self):
+        data = json.loads((REPO / "tools" /
+                           "lint_baseline.json").read_text())
+        assert data == {"version": 1, "entries": []}
+
+
+# ---------------------------------------------------------------------------
+# CLI surface + the live tree
+# ---------------------------------------------------------------------------
+
+def _violation_pkg(tmp_path) -> Path:
+    """A package with one layering violation, laid out for --root."""
+    root = tmp_path / "fakepkg"
+    (root / "pipeline").mkdir(parents=True)
+    (root / "obs").mkdir()
+    (root / "__init__.py").write_text("")
+    (root / "pipeline" / "__init__.py").write_text("")
+    (root / "obs" / "__init__.py").write_text("")
+    (root / "obs" / "helpers.py").write_text("NULL = None\n")
+    (root / "pipeline" / "mod.py").write_text(
+        fixture("layering_bad.py"))
+    return root
+
+
+class TestCli:
+    def test_live_tree_is_clean(self, capsys):
+        assert cli_main(["lint"]) == 0
+        assert "0 finding(s)" in capsys.readouterr().out
+
+    def test_live_tree_json(self, capsys):
+        assert cli_main(["lint", "--json", "--strict"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["findings"] == []
+        assert payload["stale_baseline_entries"] == []
+
+    def test_injected_violation_fails(self, tmp_path, capsys):
+        root = _violation_pkg(tmp_path)
+        assert cli_main(["lint", "--root", str(root)]) == 1
+        out = capsys.readouterr().out
+        assert "L001" in out and "1 finding(s)" in out
+
+    def test_path_filter(self, tmp_path, capsys):
+        root = _violation_pkg(tmp_path)
+        assert cli_main(["lint", "--root", str(root),
+                         "fakepkg/obs"]) == 0
+        assert cli_main(["lint", "--root", str(root),
+                         "fakepkg/pipeline"]) == 1
+
+    def test_baseline_workflow(self, tmp_path, capsys):
+        root = _violation_pkg(tmp_path)
+        baseline = tmp_path / "baseline.json"
+        # 1. Grandfather the finding.
+        assert cli_main(["lint", "--root", str(root),
+                         "--update-baseline",
+                         "--baseline", str(baseline)]) == 0
+        # 2. Baselined finding no longer fails.
+        assert cli_main(["lint", "--root", str(root),
+                         "--baseline", str(baseline)]) == 0
+        assert "1 baselined" in capsys.readouterr().out
+        # 3. Fix the violation: the entry goes stale; --strict fails
+        #    so the baseline shrinks monotonically, plain mode passes.
+        (root / "pipeline" / "mod.py").write_text(
+            fixture("layering_good.py"))
+        (root / "config.py").write_text("WIDTH = 4\n")
+        assert cli_main(["lint", "--root", str(root),
+                         "--baseline", str(baseline)]) == 0
+        assert "stale" in capsys.readouterr().out
+        assert cli_main(["lint", "--root", str(root), "--strict",
+                         "--baseline", str(baseline)]) == 1
+
+    def test_rules_catalog(self, capsys):
+        assert cli_main(["lint", "--rules"]) == 0
+        out = capsys.readouterr().out
+        for rule_id in ("D001", "L001", "H002", "S003", "C002",
+                        "E001", "F000"):
+            assert rule_id in out
+        assert set(rule_catalog()) >= {"D001", "L002", "H001", "S005",
+                                       "C001", "E001"}
+
+
+class TestMeta:
+    def test_live_tree_has_zero_findings(self):
+        findings = lint_tree(default_config())
+        assert findings == [], "\n".join(f.render() for f in findings)
+
+    def test_ci_checks_lint_gate(self):
+        proc = subprocess.run(
+            [sys.executable, str(REPO / "tools" / "ci_checks.py"),
+             "lint"],
+            capture_output=True, text=True, cwd=REPO)
+        assert proc.returncode == 0, proc.stdout + proc.stderr
+        assert "ci_checks: OK" in proc.stdout
+
+    def test_every_rule_id_documented(self):
+        doc = (REPO / "docs" / "linting.md").read_text()
+        for rule_id in rule_catalog():
+            assert rule_id in doc, f"{rule_id} missing from linting.md"
