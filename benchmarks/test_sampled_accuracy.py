@@ -1,0 +1,89 @@
+"""Sampled-simulation accuracy regression (acceptance gate).
+
+Pins the two claims the sampling subsystem makes:
+
+1. **Accuracy** — sampled IPC and the VCA spill/fill counts must land
+   within ``TOLERANCE`` (5%) of the full-detail run, on the recursive
+   ``fib`` diagnostic (scale 1, every interval detailed — isolates
+   checkpoint/warmup bias) and on the generated ``gzip_graphic``
+   workload (scale 4, a genuine subsample).
+2. **Cost** — on ``gzip_graphic`` the sampler must simulate at least
+   ``REDUCTION_FLOOR`` (5×) fewer detailed cycles than the full run,
+   warmup prefixes included.
+
+Both runs use the pinned generator seed 0, so drift here means the
+sampler (or the machinery it seeds) changed, not the workload.
+Reference values at the time of pinning: fib IPC error 2.1%,
+spills 1786 → 1788, fills 336 → 336; gzip_graphic IPC error 0.05%
+at 6.1× fewer detailed cycles.
+"""
+
+import pytest
+
+from repro.config import MachineConfig
+from repro.models.factory import build_machine, model_abi
+from repro.sampling import SamplingConfig, run_sampled
+from repro.workloads.generator import benchmark_program
+
+TOLERANCE = 0.05
+REDUCTION_FLOOR = 5.0
+#: Absolute slack for event counts whose full-run value is near zero
+#: (5% of ~nothing is nothing; warmup seeding may add a handful of
+#: fills the full run never needed).
+COUNT_SLACK = 100
+
+MODEL = "vca-rw"
+
+
+def _pair(bench: str, scale: float, scfg: SamplingConfig):
+    """(full SimStats, sampled SimStats, SamplingMeta) for one
+    configuration, built from identically generated programs."""
+    abi = model_abi(MODEL)
+    cfg = MachineConfig.baseline().with_(
+        phys_regs=256, dl1_ports=2, n_threads=1)
+    full = build_machine(
+        MODEL, cfg,
+        [benchmark_program(bench, abi=abi, scale=scale, seed=0)]).run()
+    sampled, meta = run_sampled(
+        MODEL, cfg,
+        benchmark_program(bench, abi=abi, scale=scale, seed=0), scfg)
+    return full, sampled, meta
+
+
+def _assert_close(name: str, full: float, sampled: float) -> None:
+    slack = max(TOLERANCE * full, COUNT_SLACK)
+    assert abs(sampled - full) <= slack, (
+        f"{name}: sampled {sampled} vs full {full} "
+        f"(> {TOLERANCE:.0%} off, slack {slack:.0f})")
+
+
+@pytest.mark.parametrize("bench,scale,scfg", [
+    ("fib", 1.0, SamplingConfig()),
+    ("gzip_graphic", 4.0, SamplingConfig(n_detailed=6)),
+])
+def test_sampled_ipc_and_spill_fill_accuracy(bench, scale, scfg):
+    full, sampled, meta = _pair(bench, scale, scfg)
+    full_ipc = full.committed / full.cycles
+    sampled_ipc = sampled.committed / sampled.cycles
+    err = abs(sampled_ipc - full_ipc) / full_ipc
+    assert err <= TOLERANCE, (
+        f"{bench}: sampled IPC {sampled_ipc:.4f} vs full "
+        f"{full_ipc:.4f} ({err:.2%} > {TOLERANCE:.0%}); "
+        f"sample: {meta.n_detailed}/{meta.n_intervals} intervals")
+    _assert_close(f"{bench} spills", full.spills, sampled.spills)
+    _assert_close(f"{bench} fills", full.fills, sampled.fills)
+    # The extrapolation carries the functional pass's exact totals.
+    assert sampled.committed == full.committed
+
+
+def test_sampled_simulation_is_cheaper():
+    """≥5× fewer detailed cycles than the full run on gzip_graphic,
+    with the accuracy test above holding at the same settings."""
+    full, _, meta = _pair("gzip_graphic", 4.0,
+                          SamplingConfig(n_detailed=6))
+    reduction = full.cycles / meta.detailed_cycles
+    assert reduction >= REDUCTION_FLOOR, (
+        f"sampled run simulated {meta.detailed_cycles} detailed "
+        f"cycles vs {full.cycles} full-run cycles — only "
+        f"{reduction:.2f}x fewer (floor {REDUCTION_FLOOR}x)")
+    assert meta.n_detailed < meta.n_intervals  # a genuine subsample

@@ -66,26 +66,61 @@ def _cmd_run(args) -> int:
                 for i, b in enumerate(benches)]
     cfg = MachineConfig.baseline(phys_regs=args.regs,
                                  dl1_ports=args.ports)
-    tracer = build_tracer(trace=args.trace, out=args.trace_out)
-    metrics = (MetricsRegistry(args.metrics_interval)
-               if args.metrics_interval is not None else None)
-    machine = build_machine(args.model, cfg, programs,
-                            tracer=tracer, metrics=metrics)
-    stats = machine.run(stop_at_first_halt=len(benches) > 1)
+    smeta = None
+    if args.sample:
+        if len(benches) != 1:
+            print("repro run: --sample is single-threaded; give one "
+                  "benchmark", file=sys.stderr)
+            return 2
+        if args.trace or args.trace_out:
+            print("repro run: --sample simulates disjoint windows; "
+                  "tracing is only meaningful on full runs",
+                  file=sys.stderr)
+            return 2
+        from repro.sampling import SamplingConfig, run_sampled
+        scfg = SamplingConfig(interval_len=args.sample_interval,
+                              n_detailed=args.sample_count,
+                              mode=args.sample_mode,
+                              warmup_insns=args.sample_warmup)
+        metrics = (MetricsRegistry(args.metrics_interval)
+                   if args.metrics_interval is not None else None)
+        stats, smeta = run_sampled(args.model,
+                                   cfg.with_(n_threads=1),
+                                   programs[0], scfg, metrics=metrics)
+    else:
+        tracer = build_tracer(trace=args.trace, out=args.trace_out)
+        metrics = (MetricsRegistry(args.metrics_interval)
+                   if args.metrics_interval is not None else None)
+        machine = build_machine(args.model, cfg, programs,
+                                tracer=tracer, metrics=metrics)
+        stats = machine.run(stop_at_first_halt=len(benches) > 1)
     print(f"model={args.model} regs={args.regs} ports={args.ports} "
           f"benches={','.join(benches)}"
           + (f" seed={args.seed}" if args.seed is not None else ""))
     print(stats.summary())
-    tracer.close()
-    for sink in tracer.sinks:
-        if isinstance(sink, JsonlSink):
-            print(f"trace: wrote {sink.written} events to {sink.path}")
+    if smeta is not None:
+        errs = " ".join(f"{k}±{v:.1%}" for k, v in
+                        sorted(smeta.errors.items()))
+        print(f"sampling: mode={smeta.mode} "
+              f"intervals={smeta.n_detailed}/{smeta.n_intervals}"
+              f"x{smeta.interval_len} "
+              f"detailed_cycles={smeta.detailed_cycles} "
+              f"(est {smeta.est_cycles}, {smeta.speedup:.1f}x fewer) "
+              f"{errs}")
+    if not args.sample:
+        tracer.close()
+        for sink in tracer.sinks:
+            if isinstance(sink, JsonlSink):
+                print(f"trace: wrote {sink.written} events to "
+                      f"{sink.path}")
     if args.json:
         from repro.experiments.export import write_stats_json
+        extra = ({"sampling": smeta.to_dict()}
+                 if smeta is not None else {})
         out = write_stats_json(args.json, stats, model=args.model,
                                benches=list(benches), regs=args.regs,
                                ports=args.ports, scale=args.scale,
-                               seed=args.seed)
+                               seed=args.seed, **extra)
         print(f"stats: wrote {out}")
     return 0
 
@@ -325,6 +360,23 @@ def _cmd_sweep(args) -> int:
     from repro.obs import MetricsRegistry
 
     spec = _sweep_spec(args)
+    points = spec.points()
+    if args.sample:
+        import dataclasses
+        multi = [p for p in points
+                 if p.kind == "run" and len(p.benches) != 1]
+        if multi:
+            print(f"repro sweep: --sample is single-threaded, but "
+                  f"plan {args.plan!r} has multi-thread points "
+                  f"(e.g. {multi[0].label})", file=sys.stderr)
+            return 2
+        points = [dataclasses.replace(
+                      p, sample=True,
+                      sample_interval=args.sample_interval,
+                      sample_count=args.sample_count,
+                      sample_mode=args.sample_mode)
+                  if p.kind == "run" else p
+                  for p in points]
     engine = _engine_from(args)
     metrics = MetricsRegistry()
     live = sys.stderr.isatty()
@@ -339,14 +391,17 @@ def _cmd_sweep(args) -> int:
 
     t0 = time.monotonic()
     outcomes = engine.run(
-        spec.points(), journal=args.journal, resume=args.resume,
+        points, journal=args.journal, resume=args.resume,
         progress=None if args.quiet else on_progress, metrics=metrics)
     if live and not args.quiet:
         print(file=sys.stderr)
     print(render_outcome_summary(outcomes, time.monotonic() - t0))
 
     failed = [oc for oc in outcomes.values() if not oc.ok]
-    if spec.reduce is not None and not failed:
+    # Reductions index outcomes by reconstructing the plan's own
+    # (full-detail) points, which sampled points deliberately do not
+    # equal — skip rather than KeyError.
+    if spec.reduce is not None and not failed and not args.sample:
         print()
         print(render_series(f"{spec.name} series", "phys regs",
                             spec.reduce(outcomes)))
@@ -408,6 +463,23 @@ def build_parser() -> argparse.ArgumentParser:
                           "counters every N cycles (0: final only)")
     run.add_argument("--json", metavar="PATH", default=None,
                      help="also write full stats as JSON")
+    run.add_argument("--sample", action="store_true",
+                     help="checkpointed sampled simulation: detailed-"
+                          "simulate representative intervals and "
+                          "extrapolate (single benchmark only)")
+    run.add_argument("--sample-interval", type=int, default=2000,
+                     metavar="N", help="instructions per interval")
+    run.add_argument("--sample-count", type=int, default=8,
+                     metavar="K", help="intervals simulated in detail")
+    run.add_argument("--sample-mode",
+                     choices=["systematic", "bbv"],
+                     default="systematic",
+                     help="representative selection: evenly spaced, "
+                          "or SimPoint-style BBV clustering")
+    run.add_argument("--sample-warmup", type=int, default=500,
+                     metavar="N",
+                     help="detailed (unmeasured) warmup instructions "
+                          "before each interval")
     run.set_defaults(fn=_cmd_run)
 
     for name, fn, with_bench in [
@@ -458,6 +530,17 @@ def build_parser() -> argparse.ArgumentParser:
                     help="skip points already completed in --journal")
     sw.add_argument("--no-cache", action="store_true",
                     help="ignore (and don't consult) the result cache")
+    sw.add_argument("--sample", action="store_true",
+                    help="run every single-benchmark point through "
+                         "checkpointed sampled simulation")
+    sw.add_argument("--sample-interval", type=int, default=2000,
+                    metavar="N", help="instructions per interval")
+    sw.add_argument("--sample-count", type=int, default=8,
+                    metavar="K", help="intervals simulated in detail")
+    sw.add_argument("--sample-mode",
+                    choices=["systematic", "bbv"],
+                    default="systematic",
+                    help="representative-interval selection mode")
     sw.add_argument("--csv", metavar="PATH", default=None,
                     help="write per-point outcomes as CSV")
     sw.add_argument("--metrics", action="store_true",

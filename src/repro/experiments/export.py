@@ -111,6 +111,8 @@ OUTCOME_FIELDS: Tuple[str, ...] = (
     "status", "kind", "model", "benches", "phys_regs", "dl1_ports",
     "scale", "elapsed", "cycles", "ipc", "dl1_accesses", "unrunnable",
     "error", "key", "schema",
+    "sampled", "sample_intervals", "sample_detailed",
+    "sample_detailed_cycles",
 )
 
 
@@ -140,7 +142,11 @@ def write_outcomes_csv(path: str, outcomes) -> Path:
                 r = oc.result()
                 row.update(cycles=r.cycles, ipc=f"{r.ipc:.6f}",
                            dl1_accesses=r.dl1_accesses,
-                           unrunnable=int(r.unrunnable))
+                           unrunnable=int(r.unrunnable),
+                           sampled=int(r.sampled),
+                           sample_intervals=r.sample_intervals,
+                           sample_detailed=r.sample_detailed,
+                           sample_detailed_cycles=r.sample_detailed_cycles)
             writer.writerow(row)
     return out
 

@@ -57,6 +57,14 @@ class Point:
     scale: float = 1.0
     #: ``path_ratio`` benchmark name, or ``probe`` label.
     bench: str = ""
+    #: Checkpointed sampled simulation (``repro.sampling``); the
+    #: ``sample_*`` parameters are identity-bearing only when
+    #: ``sample`` is set, keeping historical full-detail cache keys
+    #: bit-identical.
+    sample: bool = False
+    sample_interval: int = 2000
+    sample_count: int = 8
+    sample_mode: str = "systematic"
 
     # -- constructors ------------------------------------------------------
     @classmethod
@@ -92,10 +100,16 @@ class Point:
         so pre-plan caches stay valid.
         """
         if self.kind == RUN:
-            return _runner._cache_key(
+            params = dict(
                 model=self.model, benches=self.benches,
                 phys_regs=self.phys_regs, dl1_ports=self.dl1_ports,
                 scale=self.scale)
+            if self.sample:
+                params.update(sample=True,
+                              sample_interval=self.sample_interval,
+                              sample_count=self.sample_count,
+                              sample_mode=self.sample_mode)
+            return _runner._cache_key(**params)
         if self.kind == PATH_RATIO:
             return _runner._cache_key(kind=PATH_RATIO, bench=self.bench)
         return f"probe-{self.bench}"
@@ -104,8 +118,9 @@ class Point:
     def label(self) -> str:
         """Compact human-readable name for progress lines and CSVs."""
         if self.kind == RUN:
+            tag = "~s" if self.sample else ""
             return (f"{self.model}/{'+'.join(self.benches)}"
-                    f"@{self.phys_regs}r{self.dl1_ports}p")
+                    f"@{self.phys_regs}r{self.dl1_ports}p{tag}")
         if self.kind == PATH_RATIO:
             return f"ratio/{self.bench}"
         return f"probe/{self.bench}"
@@ -117,16 +132,25 @@ class Point:
                 "benches": list(self.benches),
                 "phys_regs": self.phys_regs,
                 "dl1_ports": self.dl1_ports, "scale": self.scale,
-                "bench": self.bench}
+                "bench": self.bench, "sample": self.sample,
+                "sample_interval": self.sample_interval,
+                "sample_count": self.sample_count,
+                "sample_mode": self.sample_mode}
 
     @classmethod
     def from_dict(cls, d: Mapping[str, Any]) -> "Point":
         """Inverse of :meth:`to_dict`; equal parameters reconstruct
-        an equal (and equally hashable) point."""
+        an equal (and equally hashable) point.  The ``sample``
+        parameters default when absent so pre-sampling journals still
+        replay."""
         return cls(kind=d["kind"], model=d["model"],
                    benches=tuple(d["benches"]),
                    phys_regs=d["phys_regs"], dl1_ports=d["dl1_ports"],
-                   scale=d["scale"], bench=d["bench"])
+                   scale=d["scale"], bench=d["bench"],
+                   sample=d.get("sample", False),
+                   sample_interval=d.get("sample_interval", 2000),
+                   sample_count=d.get("sample_count", 8),
+                   sample_mode=d.get("sample_mode", "systematic"))
 
     # -- execution ---------------------------------------------------------
     def load_cached(self) -> Optional[dict]:
@@ -149,10 +173,17 @@ class Point:
         if self.kind == RUN:
             import json
             from dataclasses import asdict
+            # Sample parameters are passed only when set, mirroring
+            # the cache-key gating: full-detail points call run_point
+            # exactly as they always have.
+            sample_kwargs = dict(
+                sample=True, sample_interval=self.sample_interval,
+                sample_count=self.sample_count,
+                sample_mode=self.sample_mode) if self.sample else {}
             result = _runner.run_point(
                 self.model, self.benches, self.phys_regs,
                 dl1_ports=self.dl1_ports, scale=self.scale,
-                use_cache=use_cache)
+                use_cache=use_cache, **sample_kwargs)
             # Canonical JSON form, so a payload compares equal no
             # matter whether it was executed, cache-loaded, piped from
             # a worker, or replayed from a journal.
@@ -208,7 +239,9 @@ def point_from_params(**params: Any) -> Point:
                 raise TypeError("give either 'bench' or 'benches'")
             params["benches"] = (params.pop("bench"),)
         benches = tuple(params.pop("benches", ()))
-        allowed = {"model", "phys_regs", "dl1_ports", "scale"}
+        allowed = {"model", "phys_regs", "dl1_ports", "scale",
+                   "sample", "sample_interval", "sample_count",
+                   "sample_mode"}
         unknown = set(params) - allowed
         if unknown:
             raise TypeError(f"unknown run-point parameters: "

@@ -103,6 +103,13 @@ class RunResult:
     rsid_flushes: int = 0
     stats_vector: Tuple[float, ...] = ()
     unrunnable: bool = False
+    # Sampled-simulation metadata (``repro.sampling``); defaults keep
+    # pre-sampling cache entries and journals decodable.
+    sampled: bool = False
+    sample_intervals: int = 0
+    sample_detailed: int = 0
+    sample_detailed_cycles: int = 0
+    sample_errors: Dict[str, float] = field(default_factory=dict)
 
     @property
     def ipc(self) -> float:
@@ -178,7 +185,9 @@ def _cache_load_result(key: str) -> Optional[RunResult]:
 
 def run_point(model: str, benches: Sequence[str], phys_regs: int,
               dl1_ports: int = 2, scale: float = 1.0,
-              use_cache: bool = True) -> RunResult:
+              use_cache: bool = True, sample: bool = False,
+              sample_interval: int = 2000, sample_count: int = 8,
+              sample_mode: str = "systematic") -> RunResult:
     """Simulate one configuration (cached).
 
     ``benches`` holds one benchmark name per hardware thread.
@@ -186,10 +195,25 @@ def run_point(model: str, benches: Sequence[str], phys_regs: int,
     machine without enough registers) return a result flagged
     ``unrunnable`` rather than raising, so sweeps can chart the
     paper's "No Baseline" regions.
+
+    With ``sample`` the run goes through checkpointed sampled
+    simulation (``repro.sampling``, single-thread only): the
+    ``sample_*`` parameters join the cache key, and the result carries
+    the sampling metadata fields.  Full-detail keys are untouched, so
+    sampled and full results never alias in the cache.
     """
     benches = tuple(benches)
-    key = _cache_key(model=model, benches=benches, phys_regs=phys_regs,
-                     dl1_ports=dl1_ports, scale=scale)
+    if sample and len(benches) != 1:
+        raise ValueError(f"sampled runs are single-threaded; got "
+                         f"benches={benches}")
+    key_params = dict(model=model, benches=benches,
+                      phys_regs=phys_regs, dl1_ports=dl1_ports,
+                      scale=scale)
+    if sample:
+        key_params.update(sample=True, sample_interval=sample_interval,
+                          sample_count=sample_count,
+                          sample_mode=sample_mode)
+    key = _cache_key(**key_params)
     if use_cache:
         cached = _cache_load_result(key)
         if cached is not None:
@@ -200,21 +224,40 @@ def run_point(model: str, benches: Sequence[str], phys_regs: int,
                 for i, name in enumerate(benches)]
     cfg = MachineConfig.baseline(phys_regs=phys_regs,
                                  dl1_ports=dl1_ports)
+    smeta = None
     try:
-        machine = build_machine(model, cfg, programs)
+        if sample:
+            from repro.sampling import SamplingConfig, run_sampled
+            scfg = SamplingConfig(interval_len=sample_interval,
+                                  n_detailed=sample_count,
+                                  mode=sample_mode)
+            stats, smeta = run_sampled(model, cfg.with_(n_threads=1),
+                                       programs[0], scfg)
+        else:
+            machine = build_machine(model, cfg, programs)
+            stats = machine.run(stop_at_first_halt=len(benches) > 1)
     except UnrunnableConfigError:
         result = RunResult(model=model, benches=benches,
                            phys_regs=phys_regs, dl1_ports=dl1_ports,
-                           scale=scale, unrunnable=True)
+                           scale=scale, unrunnable=True,
+                           sampled=sample)
         if use_cache:
             _cache_store(key, asdict(result))
         return result
 
-    stats = machine.run(stop_at_first_halt=len(benches) > 1)
     from repro.experiments.export import run_stat_fields
     from repro.workloads.clustering import benchmark_vector
     vector = tuple(float(v) for v in benchmark_vector(stats)) \
         if len(benches) == 1 else ()
+    sample_fields = {}
+    if smeta is not None:
+        sample_fields = dict(
+            sampled=True,
+            sample_intervals=smeta.n_intervals,
+            sample_detailed=smeta.n_detailed,
+            sample_detailed_cycles=smeta.detailed_cycles,
+            sample_errors={k: float(v)
+                           for k, v in smeta.errors.items()})
     # Scalar stats come from the shared SimStats.to_dict schema
     # (export.RUN_STAT_KEYS) rather than per-field plucking, so run
     # artifacts and stats exports cannot diverge.
@@ -225,7 +268,7 @@ def run_point(model: str, benches: Sequence[str], phys_regs: int,
         thread_ipcs=tuple(stats.thread_ipc(i)
                           for i in range(len(benches))),
         stats_vector=vector,
-        **run_stat_fields(stats))
+        **run_stat_fields(stats), **sample_fields)
     if use_cache:
         _cache_store(key, asdict(result))
     return result

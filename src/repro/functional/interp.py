@@ -109,6 +109,32 @@ class FunctionalSim:
     def call_depth(self) -> int:
         return len(self.frames) - 1
 
+    # -- architectural snapshots -------------------------------------------
+    def save_state(self) -> Dict[str, object]:
+        """Deep-copied architectural state at an instruction boundary.
+
+        Everything the ISA defines — PC, registers, the window frame
+        stack and memory — but not :attr:`stats`, which describe the
+        path executed so far rather than the machine state.  The
+        checkpointed-sampling layer (``repro.sampling``) builds its
+        compact checkpoint format on top of this.
+        """
+        return {
+            "pc": self.pc,
+            "halted": self.halted,
+            "regs": list(self.regs),
+            "frames": [list(f) for f in self.frames],
+            "mem": dict(self.mem),
+        }
+
+    def load_state(self, state: Dict[str, object]) -> None:
+        """Install a :meth:`save_state` snapshot (stats untouched)."""
+        self.pc = state["pc"]
+        self.halted = state["halted"]
+        self.regs = list(state["regs"])
+        self.frames = [list(f) for f in state["frames"]]
+        self.mem = dict(state["mem"])
+
     # -- memory access ----------------------------------------------------
     def read_mem(self, addr: int) -> float:
         if addr % 8:

@@ -36,7 +36,7 @@ DEFAULT_LAYERS: Mapping[str, int] = {
     "": SIM, "config": SIM, "hooks": SIM,
     "isa": SIM, "asm": SIM, "frontend": SIM, "functional": SIM,
     "mem": SIM, "rename": SIM, "windows": SIM, "pipeline": SIM,
-    "models": SIM, "workloads": SIM, "analysis": SIM,
+    "models": SIM, "workloads": SIM, "analysis": SIM, "sampling": SIM,
     "obs": OBS,
     "experiments": EXPERIMENTS,
     "lint": LINT,

@@ -81,6 +81,12 @@ COUNTERS: Tuple[str, ...] = (
     # sweep engine progress
     "sweep.points.total",
     "sweep.points.*",        # by outcome status: done/failed/...
+    # sampled simulation (repro.sampling.sampler)
+    "sampling.intervals_total",
+    "sampling.intervals_detailed",
+    "sampling.detailed_instructions",
+    "sampling.detailed_cycles",
+    "sampling.est_cycles",
     # stage profiler (repro.obs.profile)
     "profile.*.seconds",
     "profile.*.calls",

@@ -113,6 +113,12 @@ class Pipeline:
         self._seq = 0
         self._last_commit = 0
         self.stats = SimStats(threads=[ThreadStats() for _ in programs])
+        #: Optional callable invoked with each DynInst as it commits,
+        #: in program order (per thread).  Used by the differential
+        #: co-simulation tests to compare the commit stream against the
+        #: functional interpreter; None (the default) costs nothing on
+        #: the hot path.
+        self.commit_hook = None
 
         # Per-thread front-end queues: (ready_cycle, DynInst) in fetch
         # order.  Keeping them separate prevents one register- or
@@ -182,13 +188,28 @@ class Pipeline:
     # ==================================================================
     # driving
     # ==================================================================
-    def run(self, stop_at_first_halt: bool = False) -> SimStats:
-        """Simulate until completion; returns the statistics."""
+    def run(self, stop_at_first_halt: bool = False,
+            commit_limit: Optional[int] = None) -> SimStats:
+        """Simulate until completion; returns the statistics.
+
+        Args:
+            stop_at_first_halt: finish when any thread halts (SMT
+                methodology runs).
+            commit_limit: stop once at least this many instructions
+                have committed in total — the sampled-simulation
+                partial-interval mode.  The loop tests the limit at
+                cycle granularity, so the final count may exceed it by
+                up to one commit group.
+        """
         n_threads = self._n_threads
         max_cycles = self.cfg.max_cycles
+        stats = self.stats
         while True:
             halted = self._halted_count
             if halted and (stop_at_first_halt or halted == n_threads):
+                break
+            if commit_limit is not None and \
+                    stats.committed >= commit_limit:
                 break
             self.step()
             if self.cycle > max_cycles:
@@ -200,6 +221,25 @@ class Pipeline:
                     f"(now {self.cycle}); rename stalls: "
                     f"{dict(self.engine.stalls)}")
         return self.finalize()
+
+    def enter_at(self, tid: int, pc: int) -> None:
+        """Point thread ``tid``'s fetch at ``pc`` before the first cycle.
+
+        Part of checkpoint seeding (``repro.sampling``): the machine is
+        built normally, the rename engine's architectural state is
+        overwritten via :meth:`RenameEngine.load_arch_state`, and fetch
+        is redirected here so detailed simulation begins mid-program.
+        Only legal on a machine that has not simulated yet.
+        """
+        if self.cycle or self._seq:
+            raise SimulationError(
+                "enter_at() requires a freshly built machine")
+        t = self.threads[tid]
+        if not 0 <= pc < len(t.program.code):
+            raise SimulationError(
+                f"checkpoint PC {pc} outside program code "
+                f"(0..{len(t.program.code) - 1})")
+        t.next_pc = pc
 
     def finalize(self) -> SimStats:
         """Collect end-of-run statistics."""
@@ -778,6 +818,7 @@ class Pipeline:
         pool = self._pool
         tr = self.trace
         tr_on = tr.enabled
+        hook = self.commit_hook
         while budget and rob:
             d = rob[0]
             if d.squashed:
@@ -800,6 +841,8 @@ class Pipeline:
                 self.lsq_count -= 1
             on_commit(d)
             d.committed = True
+            if hook is not None:
+                hook(d)
             if tr_on:
                 tr.emit(now, tid, "commit", seq=d.seq, pc=d.pc)
             t = stats.threads[tid]

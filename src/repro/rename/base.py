@@ -101,6 +101,24 @@ class RenameEngine(abc.ABC):
     def arch_value(self, tid: int, reg: int) -> float:
         """Architectural register value with the machine drained."""
 
+    def load_arch_state(self, tid: int, state,
+                        warm_table: bool = False) -> None:
+        """Seed thread ``tid``'s architectural state from a checkpoint.
+
+        Called by the sampling layer (``repro.sampling``) on a freshly
+        built machine, after :meth:`init_thread` and before the first
+        cycle, with a :class:`repro.sampling.Checkpoint`-like object
+        exposing ``reg_value(r)``, ``frames``, ``depth`` and
+        ``windowed``.  Engines must install the values wherever their
+        committed state lives (map table, backing memory, register
+        space) so that a detailed run entered mid-program computes
+        exactly what the full run would.  ``warm_table`` additionally
+        pre-populates lookup structures (the VCA rename table) to
+        shorten the cold-start transient.
+        """
+        raise NotImplementedError(
+            f"{type(self).__name__} does not support checkpoint seeding")
+
     # -- optional hooks -------------------------------------------------------
     @property
     def astq(self):

@@ -47,6 +47,18 @@ class ConventionalRename(RenameEngine):
             regs.append(p)
         self.maps[tid] = regs
 
+    def load_arch_state(self, tid: int, state,
+                        warm_table: bool = False) -> None:
+        """Overwrite the committed map-table values with a checkpoint's.
+
+        The flat model keeps all 64 architectural registers resident,
+        so seeding is a straight value overwrite of the mappings that
+        :meth:`init_thread` installed.
+        """
+        regs = self.maps[tid]
+        for arch in range(N_ARCH_REGS):
+            regs[arch].value = state.reg_value(arch)
+
     # ------------------------------------------------------------------
     def try_rename(self, d) -> bool:
         ins = d.instr

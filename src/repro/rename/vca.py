@@ -35,7 +35,9 @@ from typing import Dict, List, Optional, Tuple
 from repro.asm.layout import WINDOW_STRIDE_BYTES
 from repro.asm.program import Program
 from repro.config import MachineConfig
-from repro.isa.registers import SP_REG
+from repro.isa.registers import (
+    GLOBAL_REGS, N_ARCH_REGS, SP_REG, WINDOW_REGS,
+)
 from repro.mem.hierarchy import MemoryHierarchy
 
 from .astq import ASTQ
@@ -173,6 +175,72 @@ class VcaRename(RenameEngine):
         self.hierarchy.warm(ctx.global_base, ctx.global_base + 256)
         self.hierarchy.warm(ctx.window_base,
                             ctx.window_base + 8 * 512)
+
+    def load_arch_state(self, tid: int, state,
+                        warm_table: bool = False) -> None:
+        """Seed the register space (and optionally the rename table).
+
+        VCA's committed state *is* the memory-mapped register space, so
+        seeding writes every checkpointed register value there and — for
+        the windowed ABI — moves the context's window pointer to the
+        checkpoint's call depth.  With ``warm_table`` the hot context
+        (globals plus the current window frame) is also pre-mapped into
+        the rename table as clean committed entries, removing the
+        cold-start fill burst a mid-program entry would otherwise pay.
+        """
+        ctx = self.contexts[tid]
+        write_word = self.hierarchy.write_word
+        if ctx.windowed_abi:
+            for _ in range(state.depth):
+                ctx.push_window()
+            base0 = ctx.window_base - state.depth * WINDOW_STRIDE_BYTES
+            for d, frame in enumerate(state.frames):
+                fb = base0 + d * WINDOW_STRIDE_BYTES
+                for slot in range(WINDOW_REGS):
+                    write_word(fb + slot * 8, frame[slot])
+            seed_regs = GLOBAL_REGS
+        else:
+            seed_regs = range(N_ARCH_REGS)
+        for r in seed_regs:
+            if r != 31:
+                write_word(ctx.laddr(r), state.reg_value(r))
+        if warm_table:
+            self._warm_table(ctx)
+
+    def _warm_table(self, ctx: ThreadContext) -> None:
+        """Pre-map the current context into the rename table (clean,
+        committed, fill-sourced entries), respecting associativity,
+        RSID capacity and the free list — any shortage just ends the
+        warmup early."""
+        hot: List[int] = []
+        if ctx.windowed_abi:
+            hot.extend(ctx.laddr(r) for r in GLOBAL_REGS if r != 31)
+            hot.extend(ctx.window_base + slot * 8
+                       for slot in range(WINDOW_REGS))
+        else:
+            hot.extend(ctx.laddr(r) for r in range(N_ARCH_REGS)
+                       if r != 31)
+        for laddr in hot:
+            if self.rsid is not None:
+                upper, _woff, rs = self.rsid.split_lookup(laddr)
+                if rs is None and not self.rsid.has_free:
+                    break
+            key = self._key_for(laddr, None)
+            if key is None:  # pragma: no cover - excluded by the guard
+                break
+            sset = self.table._set_of(key)
+            if key in sset or len(sset) >= self.table.assoc:
+                continue
+            p = self.regfile.alloc()
+            if p is None:
+                break
+            p.laddr = laddr
+            p.value = self.hierarchy.read_word(laddr)
+            p.ready = True
+            p.committed = True
+            p.dirty = False
+            p.from_fill = True
+            self.table.set_mapping(key, p)
 
     # -- key handling ----------------------------------------------------------
     def _key_for(self, laddr: int,

@@ -1,0 +1,533 @@
+"""SimPoint-style interval sampling over the timing pipeline.
+
+A workload is split into fixed-length instruction intervals on the
+functional interpreter.  A handful of representative intervals is
+selected — systematically (evenly spaced strata midpoints) or by
+clustering basic-block vectors as SimPoint does — and only those are
+simulated in the detailed timing model, each seeded from an
+architectural checkpoint (``repro.sampling.checkpoint``) and warmed
+(caches, branch predictor, VCA rename table) before measurement.
+Whole-run :class:`~repro.pipeline.stats.SimStats` are then
+extrapolated from the measured intervals by weighted per-instruction
+rates, with per-metric relative standard errors reported alongside.
+
+Two properties keep the estimates honest:
+
+* **Exact event counts.** Instruction-mix totals (committed, loads,
+  stores, calls, FP ops, conditional branches) come from the
+  functional profiling pass, which executes every instruction — only
+  *timing-dependent* metrics (cycles, misses, spills, mispredicts)
+  are extrapolated.
+* **Determinism.** Selection is purely arithmetic (or seeded
+  clustering); repeated runs produce identical samples, checkpoints
+  and estimates.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.asm.layout import WINDOW_STRIDE_BYTES, thread_window_base
+from repro.asm.program import Program
+from repro.config import MachineConfig
+from repro.functional.interp import FunctionalSim, FunctionalStats
+from repro.models.factory import build_machine
+from repro.pipeline.core import _ICACHE_BASE, Pipeline
+from repro.pipeline.stats import SimStats, ThreadStats
+
+from .checkpoint import Checkpoint, CheckpointingSim, fast_forward, \
+    take_checkpoint
+
+__all__ = ["SamplingConfig", "SamplingMeta", "SamplingError",
+           "IntervalProfile", "profile_intervals", "select_intervals",
+           "seed_machine", "run_sampled"]
+
+
+class SamplingError(ValueError):
+    """Raised for configurations sampling cannot serve (multi-thread
+    runs, zero-length intervals, unknown selection mode)."""
+
+
+@dataclass(frozen=True)
+class SamplingConfig:
+    """Knobs of the sampled-simulation flow.
+
+    Attributes:
+        interval_len: instructions per interval.
+        n_detailed: target number of detailed (representative)
+            intervals; clamped to the interval count.
+        mode: ``"systematic"`` (strata midpoints) or ``"bbv"``
+            (SimPoint-like basic-block-vector clustering via
+            :func:`repro.workloads.clustering.cluster_and_select`).
+        warmup_mem: captured data addresses replayed into the caches
+            before each detailed interval.
+        warmup_branches: captured conditional-branch outcomes replayed
+            into the predictor.
+        warm_caches: install recently-touched blocks (plus the code
+            footprint and the register-space window stack) before
+            measuring.
+        warm_predictor: replay branch history and the return-address
+            stack before measuring.
+        warm_rename: pre-map the hot context into the VCA rename
+            table before measuring.
+        warmup_insns: detailed-warmup prefix — instructions simulated
+            in the timing model *before* each measured interval and
+            excluded from its statistics.  State seeding restores the
+            architectural and (approximately) the memory-system state,
+            but occupancy state — pipeline fill, register-file
+            pressure, window residency, spill steady state — only
+            builds up by running; the prefix absorbs that transient.
+        bbv_bucket: static-code granularity of the basic-block vector
+            (instruction indices are bucketed by ``pc // bbv_bucket``).
+    """
+
+    interval_len: int = 2000
+    n_detailed: int = 8
+    mode: str = "systematic"
+    warmup_mem: int = 4096
+    warmup_branches: int = 4096
+    warm_caches: bool = True
+    warm_predictor: bool = True
+    warm_rename: bool = True
+    warmup_insns: int = 500
+    bbv_bucket: int = 8
+
+
+@dataclass
+class IntervalProfile:
+    """Functional-pass profile of a workload split into intervals."""
+
+    counts: List[int]                 # instructions per interval
+    bbvs: List[Dict[int, int]]        # per-interval basic-block vectors
+    total: FunctionalStats            # exact whole-run event counts
+
+    @property
+    def n_intervals(self) -> int:
+        return len(self.counts)
+
+
+@dataclass
+class SamplingMeta:
+    """What the sampler did and how trustworthy the estimate is.
+
+    ``errors`` maps metric names to *relative standard errors* of the
+    weighted per-instruction rate (0.0 when every interval agrees or
+    only one interval ran); ``speedup`` is estimated full-run cycles
+    divided by detailed cycles actually simulated.
+    """
+
+    mode: str
+    interval_len: int
+    n_intervals: int
+    n_detailed: int
+    total_instructions: int
+    detailed_instructions: int
+    detailed_cycles: int
+    est_cycles: int
+    errors: Dict[str, float] = field(default_factory=dict)
+
+    @property
+    def speedup(self) -> float:
+        if not self.detailed_cycles:
+            return 0.0
+        return self.est_cycles / self.detailed_cycles
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "mode": self.mode,
+            "interval_len": self.interval_len,
+            "n_intervals": self.n_intervals,
+            "n_detailed": self.n_detailed,
+            "total_instructions": self.total_instructions,
+            "detailed_instructions": self.detailed_instructions,
+            "detailed_cycles": self.detailed_cycles,
+            "est_cycles": self.est_cycles,
+            "speedup": self.speedup,
+            "errors": dict(self.errors),
+        }
+
+
+# ======================================================================
+# profiling pass
+# ======================================================================
+def profile_intervals(program: Program, interval_len: int,
+                      bbv_bucket: int = 8) -> IntervalProfile:
+    """Split a functional run into fixed-length intervals.
+
+    The final interval may be short (the run rarely divides evenly);
+    it still gets a BBV and is a legitimate representative.
+    """
+    if interval_len <= 0:
+        raise SamplingError(f"interval_len must be positive, "
+                            f"got {interval_len}")
+    sim = FunctionalSim(program)
+    counts: List[int] = []
+    bbvs: List[Dict[int, int]] = []
+    while not sim.halted:
+        start = sim.stats.instructions
+        bbv: Dict[int, int] = {}
+        while not sim.halted and \
+                sim.stats.instructions - start < interval_len:
+            bucket = sim.pc // bbv_bucket
+            bbv[bucket] = bbv.get(bucket, 0) + 1
+            sim.step()
+        counts.append(sim.stats.instructions - start)
+        bbvs.append(bbv)
+    return IntervalProfile(counts=counts, bbvs=bbvs, total=sim.stats)
+
+
+# ======================================================================
+# representative selection
+# ======================================================================
+def select_intervals(profile: IntervalProfile, scfg: SamplingConfig,
+                     ) -> Tuple[List[int], List[float]]:
+    """Pick representative interval indices and their weights.
+
+    Returns ``(reps, weights)`` with ``reps`` sorted ascending and
+    ``sum(weights) == n_intervals``: each weight is the number of
+    intervals the representative stands for.
+    """
+    n = profile.n_intervals
+    k = max(1, min(scfg.n_detailed, n))
+    if scfg.mode == "systematic":
+        return _select_systematic(n, k)
+    if scfg.mode == "bbv":
+        return _select_bbv(profile.bbvs, k)
+    raise SamplingError(f"unknown sampling mode {scfg.mode!r} "
+                        f"(expected 'systematic' or 'bbv')")
+
+
+def _select_systematic(n: int, k: int) -> Tuple[List[int], List[float]]:
+    """Midpoints of ``k`` equal strata; weights by nearest-rep rule."""
+    reps: List[int] = []
+    for i in range(k):
+        j = (2 * i + 1) * n // (2 * k)
+        if not reps or j > reps[-1]:
+            reps.append(j)
+    weights = [0.0] * len(reps)
+    for j in range(n):
+        best = 0
+        for i in range(1, len(reps)):
+            if abs(reps[i] - j) < abs(reps[best] - j):
+                best = i
+        weights[best] += 1.0
+    return reps, weights
+
+
+def _select_bbv(bbvs: Sequence[Dict[int, int]], k: int,
+                ) -> Tuple[List[int], List[float]]:
+    """SimPoint-like selection: cluster row-normalised BBVs and take
+    each cluster's medoid, weighted by cluster population."""
+    import numpy as np
+
+    from repro.workloads.clustering import cluster_and_select
+
+    n = len(bbvs)
+    if n == 1 or k == 1:
+        return _select_systematic(n, k)
+    columns: Dict[int, int] = {}
+    for bbv in bbvs:
+        for bucket in bbv:
+            if bucket not in columns:
+                columns[bucket] = len(columns)
+    matrix = np.zeros((n, len(columns)))
+    for i, bbv in enumerate(bbvs):
+        for bucket, count in bbv.items():
+            matrix[i, columns[bucket]] = count
+    norms = matrix.sum(axis=1, keepdims=True)
+    norms[norms == 0] = 1.0
+    result = cluster_and_select(matrix / norms, k)
+    labels = [int(x) for x in result.labels]
+    reps = sorted(int(r) for r in result.representatives)
+    weights = []
+    for r in reps:
+        cluster = labels[r]
+        weights.append(float(sum(1 for lab in labels
+                                 if lab == cluster)))
+    return reps, weights
+
+
+# ======================================================================
+# machine seeding + warmup
+# ======================================================================
+def seed_machine(machine: Pipeline, program: Program, ckpt: Checkpoint,
+                 scfg: SamplingConfig, tid: int = 0) -> None:
+    """Prepare a freshly built machine to run from ``ckpt``.
+
+    Architectural state (required): memory image, rename-engine
+    committed registers, fetch PC.  Microarchitectural state
+    (advisory, gated by the config): cache blocks, branch history,
+    return-address stack, VCA rename-table mappings.
+    """
+    hierarchy = machine.hierarchy
+    hierarchy.memory.load_image(ckpt.memory_image(program))
+    machine.engine.load_arch_state(tid, ckpt,
+                                   warm_table=scfg.warm_rename)
+    machine.enter_at(tid, ckpt.pc)
+    warm = ckpt.warmup
+    if scfg.warm_caches:
+        # The code footprint: by mid-run the full run's IL1 is warm.
+        il1 = hierarchy.il1
+        block = il1.cfg.block_bytes
+        code_bytes = len(program.code) * 8
+        for off in range(0, code_bytes, block):
+            il1.install(_ICACHE_BASE + off)
+        # The register-space window stack around the checkpoint depth
+        # (the full run warmed deeper frames as calls pushed them).
+        if program.windowed:
+            base = thread_window_base(tid)
+            lo = base + max(0, ckpt.depth - 8) * WINDOW_STRIDE_BYTES
+            hi = base + (ckpt.depth + 2) * WINDOW_STRIDE_BYTES
+            hierarchy.warm(lo, hi)
+        # Recently touched data, oldest first so the LRU order of the
+        # warmed sets matches recency (install never counts stats).
+        for addr in warm.mem[-scfg.warmup_mem:]:
+            hierarchy.l2.install(addr)
+            hierarchy.dl1.install(addr)
+    if scfg.warm_predictor:
+        predictor = machine.predictor
+        for pc, taken in warm.branches[-scfg.warmup_branches:]:
+            predicted, cp = predictor.predict(pc)
+            predictor.train(cp, taken, predicted)
+            if predicted != taken:
+                # Mirror misprediction recovery: the machine rewinds
+                # speculative history and re-applies the true
+                # direction, so its history always reflects the
+                # committed path.  Without this the replayed global
+                # history diverges and trains the wrong gshare rows.
+                predictor.recover(cp, taken, True)
+        for addr in warm.ras[-16:]:
+            predictor.ras.push(addr)
+
+
+# ======================================================================
+# measured-window extraction
+# ======================================================================
+def _measured_window(before: Dict, after: SimStats) -> SimStats:
+    """Statistics of the measured interval alone.
+
+    ``before`` is ``SimStats.to_dict()`` captured when the
+    detailed-warmup prefix finished; ``after`` is the same machine's
+    stats at the end of the measured interval.  Every monotonic
+    counter is differenced; occupancy-style metrics
+    (``max_regs_in_use``) and the L2 rate keep the end-of-run value.
+    """
+    window = SimStats(threads=[ThreadStats()])
+    for name in _RATE_FIELDS:
+        setattr(window, name, getattr(after, name) - before[name])
+    window.cond_branches = after.cond_branches \
+        - before["cond_branches"]
+    bt = before["threads"][0]
+    at = after.threads[0]
+    t = window.threads[0]
+    t.committed = at.committed - bt["committed"]
+    t.fetched = at.fetched - bt["fetched"]
+    t.squashed = at.squashed - bt["squashed"]
+    t.loads = at.loads - bt["loads"]
+    t.stores = at.stores - bt["stores"]
+    t.calls = at.calls - bt["calls"]
+    t.fp_ops = at.fp_ops - bt["fp_ops"]
+    t.cond_branches = at.cond_branches - bt["cond_branches"]
+    t.halted = at.halted
+    t.halted_at = window.cycles
+    for cause, n in after.rename_stalls.items():
+        d = n - before["rename_stalls"].get(cause, 0)
+        if d:
+            window.rename_stalls[cause] = d
+    for kind, n in after.dl1_breakdown.items():
+        d = n - before["dl1_breakdown"].get(kind, 0)
+        if d:
+            window.dl1_breakdown[kind] = d
+    for kind, n in after.dl1_miss_breakdown.items():
+        d = n - before["dl1_miss_breakdown"].get(kind, 0)
+        if d:
+            window.dl1_miss_breakdown[kind] = d
+    misses = sum(window.dl1_miss_breakdown.values())
+    window.dl1_miss_rate = (misses / window.dl1_accesses
+                            if window.dl1_accesses else 0.0)
+    window.l2_miss_rate = after.l2_miss_rate
+    window.max_regs_in_use = after.max_regs_in_use
+    return window
+
+
+# ======================================================================
+# extrapolation
+# ======================================================================
+#: Timing-dependent SimStats fields extrapolated by weighted
+#: per-instruction rate.  (Exact instruction-mix fields come from the
+#: functional profile instead.)
+_RATE_FIELDS = (
+    "cycles", "branch_mispredicts", "spills", "fills",
+    "window_overflows", "window_underflows", "window_trap_cycles",
+    "dl1_accesses", "dl1_port_conflict_cycles", "rsid_flushes",
+)
+
+#: Metrics whose relative standard error is reported in the metadata.
+_ERROR_FIELDS = ("ipc", "dl1_accesses", "spills", "fills",
+                 "branch_mispredicts")
+
+
+def _extrapolate(samples: List[SimStats], weights: List[float],
+                 profile: IntervalProfile,
+                 ) -> Tuple[SimStats, Dict[str, float]]:
+    """Weighted per-instruction-rate extrapolation to a full run."""
+    committed = [float(s.committed) for s in samples]
+    wsum = sum(weights)
+    wn = sum(w * n for w, n in zip(weights, committed))
+    total = profile.total
+    n_total = total.instructions
+
+    def scale(vals: Sequence[float]) -> int:
+        """Estimate a whole-run count from per-interval counts."""
+        return int(round(n_total * sum(
+            w * v for w, v in zip(weights, vals)) / wn))
+
+    def rel_stderr(vals: Sequence[float]) -> float:
+        """Relative standard error of the weighted mean rate."""
+        rates = [v / n if n else 0.0 for v, n in zip(vals, committed)]
+        if len(rates) < 2:
+            return 0.0
+        mean = sum(w * r for w, r in zip(weights, rates)) / wsum
+        if mean <= 0:
+            return 0.0
+        var = sum(w * (r - mean) ** 2
+                  for w, r in zip(weights, rates)) / wsum
+        return math.sqrt(var / len(rates)) / mean
+
+    est = SimStats(threads=[ThreadStats()])
+    for name in _RATE_FIELDS:
+        setattr(est, name,
+                scale([getattr(s, name) for s in samples]))
+    # Exact instruction-mix totals from the functional pass.
+    t = est.threads[0]
+    t.committed = n_total
+    t.loads = total.loads
+    t.stores = total.stores
+    t.calls = total.calls
+    t.fp_ops = total.fp_ops
+    t.cond_branches = total.cond_branches
+    t.halted = True
+    t.halted_at = est.cycles
+    t.fetched = scale([s.threads[0].fetched for s in samples])
+    t.squashed = scale([s.threads[0].squashed for s in samples])
+    est.cond_branches = total.cond_branches
+    # Stall breakdown: weighted-scaled per cause.
+    causes: List[str] = []
+    for s in samples:
+        for cause in s.rename_stalls:
+            if cause not in causes:
+                causes.append(cause)
+    for cause in causes:
+        est.rename_stalls[cause] = scale(
+            [s.rename_stalls.get(cause, 0) for s in samples])
+    # Ratio metrics: weighted totals, not averaged rates.
+    accesses = sum(w * s.dl1_accesses
+                   for w, s in zip(weights, samples))
+    misses = sum(w * sum(s.dl1_miss_breakdown.values())
+                 for w, s in zip(weights, samples))
+    est.dl1_miss_rate = misses / accesses if accesses else 0.0
+    est.l2_miss_rate = (sum(w * s.l2_miss_rate
+                            for w, s in zip(weights, samples)) / wsum)
+    kinds: List[str] = []
+    for s in samples:
+        for kind in s.dl1_breakdown:
+            if kind not in kinds:
+                kinds.append(kind)
+    for kind in kinds:
+        est.dl1_breakdown[kind] = scale(
+            [s.dl1_breakdown.get(kind, 0) for s in samples])
+        miss = scale([s.dl1_miss_breakdown.get(kind, 0)
+                      for s in samples])
+        if miss:
+            est.dl1_miss_breakdown[kind] = miss
+    est.max_regs_in_use = max(s.max_regs_in_use for s in samples)
+
+    errors = {}
+    for name in _ERROR_FIELDS:
+        attr = "cycles" if name == "ipc" else name
+        errors[name] = rel_stderr([getattr(s, attr) for s in samples])
+    return est, errors
+
+
+# ======================================================================
+# the sampled run
+# ======================================================================
+def run_sampled(model: str, cfg: MachineConfig, program: Program,
+                scfg: Optional[SamplingConfig] = None, metrics=None,
+                ) -> Tuple[SimStats, SamplingMeta]:
+    """Sampled detailed simulation of one single-thread workload.
+
+    Args:
+        model: machine model name (``repro.models.factory.MODELS``).
+        cfg: machine configuration (``n_threads`` must be 1).
+        program: the assembled binary, in the model's ABI.
+        scfg: sampling knobs; defaults to :class:`SamplingConfig`.
+        metrics: optional :class:`repro.obs.metrics.MetricsRegistry`;
+            receives the ``sampling.*`` counters and is attached to
+            the returned stats.
+
+    Returns:
+        ``(stats, meta)`` — extrapolated whole-run :class:`SimStats`
+        plus :class:`SamplingMeta` describing the sample and its error
+        estimates.
+    """
+    scfg = scfg if scfg is not None else SamplingConfig()
+    if cfg.n_threads != 1:
+        raise SamplingError("sampled simulation is single-threaded; "
+                            f"got n_threads={cfg.n_threads}")
+    profile = profile_intervals(program, scfg.interval_len,
+                                scfg.bbv_bucket)
+    reps, weights = select_intervals(profile, scfg)
+
+    # One sequential fast-forward visits every representative's start.
+    boundaries = [0]
+    for count in profile.counts:
+        boundaries.append(boundaries[-1] + count)
+    ff_sim = CheckpointingSim(program, mem_window=scfg.warmup_mem,
+                              branch_window=scfg.warmup_branches)
+    samples: List[SimStats] = []
+    detailed_cycles = 0
+    detailed_instructions = 0
+    for idx in reps:
+        start = boundaries[idx]
+        ckpt_at = max(0, start - scfg.warmup_insns)
+        fast_forward(ff_sim, ckpt_at - ff_sim.stats.instructions)
+        ckpt = take_checkpoint(ff_sim)
+        machine = build_machine(model, cfg, [program])
+        seed_machine(machine, program, ckpt, scfg)
+        warm_n = start - ckpt_at
+        before = None
+        if warm_n:
+            before = machine.run(commit_limit=warm_n).to_dict()
+        stats = machine.run(
+            commit_limit=warm_n + profile.counts[idx])
+        detailed_cycles += stats.cycles
+        detailed_instructions += stats.committed
+        if before is not None:
+            stats = _measured_window(before, stats)
+        samples.append(stats)
+
+    est, errors = _extrapolate(samples, weights, profile)
+    meta = SamplingMeta(
+        mode=scfg.mode,
+        interval_len=scfg.interval_len,
+        n_intervals=profile.n_intervals,
+        n_detailed=len(reps),
+        total_instructions=profile.total.instructions,
+        detailed_instructions=detailed_instructions,
+        detailed_cycles=detailed_cycles,
+        est_cycles=est.cycles,
+        errors=errors,
+    )
+    if metrics is not None:
+        m = metrics
+        m.set("sampling.intervals_total", meta.n_intervals)
+        m.set("sampling.intervals_detailed", meta.n_detailed)
+        m.set("sampling.detailed_instructions",
+              meta.detailed_instructions)
+        m.set("sampling.detailed_cycles", meta.detailed_cycles)
+        m.set("sampling.est_cycles", meta.est_cycles)
+        est.metrics = m.to_dict()
+    return est, meta

@@ -94,6 +94,36 @@ class ConventionalWindowRename(RenameEngine):
             self.map.append(p)
         self.map[global_slot(SP_REG)].value = program.stack_top
 
+    def load_arch_state(self, tid: int, state,
+                        warm_table: bool = False) -> None:
+        """Seed mid-program state: resident windows plus backing store.
+
+        Every checkpointed frame — including the resident ones — is
+        written to its backing-store address, so a later underflow trap
+        restores exactly the values the full run would have saved.  As
+        many of the deepest windows as fit are made resident (the
+        steady state a call-heavy full run converges to), each with an
+        empty dirty set: memory already agrees with the registers, so
+        the first overflow after the seed saves only registers written
+        since.
+        """
+        write_word = self.hierarchy.write_word
+        for d, frame in enumerate(state.frames):
+            for r in WINDOWED_REGS:
+                write_word(self._backing_addr(d, r),
+                           frame[window_slot(r)])
+        for r in GLOBAL_REGS:
+            self.map[global_slot(r)].value = state.reg_value(r)
+        depth = state.depth
+        self.depth = depth
+        self.resident_lo = max(0, depth - self.n_windows + 1)
+        self.dirty = {}
+        for d in range(self.resident_lo, depth + 1):
+            frame = state.frames[d]
+            for r in WINDOWED_REGS:
+                self.map[self.lindex(r, d)].value = frame[window_slot(r)]
+            self.dirty[d] = set()
+
     # ------------------------------------------------------------------
     def try_rename(self, d) -> bool:
         ins = d.instr

@@ -1,0 +1,101 @@
+"""RSID table recycling (``repro.rename.rsid``).
+
+``test_vca_structures`` covers first-touch installs and basic LRU;
+these tests pin the *recycling* behaviour a long-running sweep leans
+on — evicted slots are reused (the table cannot leak identifiers),
+stale translations die with their slot, and the fused
+``split_lookup`` fast path stays equivalent to ``split`` + ``lookup``
+including its LRU side effect.
+"""
+
+import pytest
+
+from repro.rename.rsid import RsidTable
+
+
+def test_evicted_slot_is_recycled():
+    """Freeing a slot makes its RSID index available again, and the
+    old upper-bits mapping is gone for good."""
+    r = RsidTable(2, 16)
+    a = r.install(1)
+    r.install(2)
+    assert not r.has_free
+    r.evict(a)
+    c = r.install(3)
+    assert c == a                      # the freed index is reused
+    assert r.lookup(3) == c
+    assert r.lookup(1) is None         # stale translation is dead
+    assert not r.has_free
+
+
+def test_recycling_under_sustained_pressure():
+    """Stream many register spaces through a small table, always
+    evicting the LRU victim: occupancy stays bounded, every install
+    succeeds, and exactly the most recent spaces remain mapped."""
+    r = RsidTable(4, 16)
+    for upper in range(64):
+        if not r.has_free:
+            r.evict(r.lru_victim())
+        r.install(upper)
+    assert not r.has_free
+    assert r.misses == 64
+    for upper in range(60, 64):        # the survivors, in LRU order
+        assert r.lookup(upper) is not None
+    assert r.lookup(59) is None
+
+
+def test_recycled_slot_starts_most_recently_used():
+    """A fresh install must not inherit the evicted entry's age —
+    otherwise it would be victimised immediately."""
+    r = RsidTable(2, 16)
+    a = r.install(1)
+    b = r.install(2)
+    r.evict(a)
+    r.install(3)                       # reuses slot a
+    assert r.lru_victim() == b
+
+
+def test_split_lookup_matches_split_plus_lookup():
+    r = RsidTable(4, 16)
+    rsid = r.install(0x3)
+    addr = (0x3 << 16) | 0x128
+    upper, woff, got = r.split_lookup(addr)
+    assert (upper, woff) == r.split(addr)
+    assert got == rsid
+
+
+def test_split_lookup_touches_lru():
+    """The fused path must refresh recency exactly like ``lookup`` —
+    a divergence here would make the rename fast path victimise hot
+    register spaces."""
+    r = RsidTable(2, 16)
+    a = r.install(1)
+    b = r.install(2)
+    r.split_lookup(1 << 16)            # touch space 1 via the fast path
+    assert r.lru_victim() == b
+
+
+def test_split_lookup_miss_leaves_lru_untouched():
+    r = RsidTable(2, 16)
+    a = r.install(1)
+    r.install(2)
+    _, _, got = r.split_lookup(7 << 16)
+    assert got is None
+    assert r.lru_victim() == a         # recency order unchanged
+
+
+def test_lru_victim_ignores_freed_slots():
+    r = RsidTable(3, 16)
+    a = r.install(1)
+    b = r.install(2)
+    r.install(3)
+    r.evict(a)                         # oldest slot now empty
+    assert r.lru_victim() == b
+
+
+def test_double_evict_rejected():
+    r = RsidTable(2, 16)
+    a = r.install(1)
+    r.evict(a)
+    with pytest.raises(RuntimeError):
+        r.evict(a)

@@ -1,0 +1,329 @@
+"""Checkpointed sampled simulation (``repro.sampling``).
+
+Three layers of guarantees, in order of strength:
+
+* **Checkpoint round-trips** (property-based): restoring a checkpoint
+  taken at *any* instruction boundary and resuming on the functional
+  interpreter reproduces the uninterrupted run's architectural state
+  exactly, and serialising a checkpoint through JSON changes nothing —
+  a timing run seeded from the round-tripped checkpoint is
+  bit-identical to one seeded from the in-memory object.
+* **Seeded-run equivalence**: a timing machine entered mid-program
+  from a checkpoint commits exactly the remaining instructions and
+  produces the same final memory image as the golden functional run,
+  on every machine model (flat and windowed ABIs).
+* **Sampler invariants**: interval profiles partition the run,
+  representative selection conserves weight, and extrapolated results
+  carry the exact instruction-mix totals.
+"""
+
+import json
+
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.config import MachineConfig
+from repro.functional import FunctionalSim
+from repro.models import build_machine, model_abi
+from repro.sampling import (
+    Checkpoint, CheckpointingSim, IntervalProfile, SamplingConfig,
+    SamplingError, fast_forward, profile_intervals, run_sampled,
+    seed_machine, select_intervals, take_checkpoint,
+)
+from repro.workloads.generator import BenchmarkBuilder, benchmark_program
+from repro.workloads.profiles import BenchmarkProfile
+
+profile_strategy = st.builds(
+    BenchmarkProfile,
+    name=st.sampled_from(["ckpt_a", "ckpt_b", "ckpt_c"]),
+    call_interval=st.integers(min_value=40, max_value=300),
+    locals_int=st.integers(min_value=4, max_value=10),
+    locals_fp=st.integers(min_value=0, max_value=4),
+    levels=st.integers(min_value=1, max_value=3),
+    reps=st.integers(min_value=1, max_value=2),
+    recursion=st.sampled_from([0, 0, 12]),
+    working_set=st.sampled_from([1024, 4096]),
+    load_frac=st.floats(min_value=0.05, max_value=0.3),
+    store_frac=st.floats(min_value=0.02, max_value=0.15),
+    fp_frac=st.floats(min_value=0.0, max_value=0.15),
+    branch_frac=st.floats(min_value=0.02, max_value=0.1),
+    branch_random=st.floats(min_value=0.0, max_value=0.3),
+    chase_frac=st.just(0.0),
+    ilp=st.integers(min_value=1, max_value=3),
+    target_dynamic=st.just(2000),
+)
+
+
+def _program(profile, windowed: bool):
+    import dataclasses
+    profile = dataclasses.replace(profile, fp=profile.fp_frac > 0)
+    abi = "windowed" if windowed else "flat"
+    return BenchmarkBuilder(profile).build().assemble(abi)
+
+
+def _mem_equal(a, b) -> bool:
+    """Memory images compared semantically: absent words read as 0."""
+    keys = set(a) | set(b)
+    return all(a.get(k, 0) == b.get(k, 0) for k in keys)
+
+
+# ======================================================================
+# checkpoint round-trips (satellite property tests)
+# ======================================================================
+@given(profile=profile_strategy,
+       frac=st.floats(min_value=0.0, max_value=1.0),
+       windowed=st.booleans())
+@settings(max_examples=12, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+def test_checkpoint_restore_resumes_identically(profile, frac, windowed):
+    """Save at a random instruction boundary, restore, resume: the
+    resumed functional run must land on exactly the uninterrupted
+    run's final state — PC, registers, window frames, memory — and
+    execute exactly the remaining instruction count."""
+    program = _program(profile, windowed)
+    golden = FunctionalSim(program)
+    golden.run()
+    total = golden.stats.instructions
+
+    n = min(total, int(frac * total))
+    sim = CheckpointingSim(program)
+    ran = fast_forward(sim, n)
+    assert ran == n
+    ckpt = take_checkpoint(sim)
+    assert ckpt.instructions == n
+
+    resumed = ckpt.restore(program)
+    resumed.run()
+    assert resumed.halted
+    assert resumed.pc == golden.pc
+    assert resumed.regs == golden.regs
+    assert resumed.frames == golden.frames
+    assert _mem_equal(resumed.mem, golden.mem)
+    assert ran + resumed.stats.instructions == total
+
+
+@given(profile=profile_strategy,
+       frac=st.floats(min_value=0.0, max_value=1.0),
+       windowed=st.booleans())
+@settings(max_examples=12, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+def test_checkpoint_json_roundtrip_is_lossless(profile, frac, windowed):
+    """``from_dict(json(to_dict(c)))`` reconstructs every field,
+    including the warmup trace and the delta-compressed memory."""
+    program = _program(profile, windowed)
+    sim = CheckpointingSim(program)
+    golden = FunctionalSim(program)
+    golden.run()
+    fast_forward(sim, int(frac * golden.stats.instructions))
+    ckpt = take_checkpoint(sim)
+
+    back = Checkpoint.from_dict(json.loads(json.dumps(ckpt.to_dict())))
+    assert back.pc == ckpt.pc
+    assert back.instructions == ckpt.instructions
+    assert back.windowed == ckpt.windowed
+    assert back.halted == ckpt.halted
+    assert back.regs == ckpt.regs
+    assert back.frames == ckpt.frames
+    assert back.mem_delta == ckpt.mem_delta
+    assert back.warmup == ckpt.warmup
+
+
+def test_json_roundtripped_checkpoint_seeds_identical_timing_run():
+    """A timing run seeded from a JSON-round-tripped checkpoint is
+    bit-identical (full ``SimStats.to_dict`` equality) to one seeded
+    from the in-memory checkpoint — serialisation is not allowed to
+    perturb even advisory warmup state."""
+    program = benchmark_program("fib", model_abi("vca-rw"), thread=0)
+    sim = CheckpointingSim(program)
+    fast_forward(sim, 1500)
+    ckpt = take_checkpoint(sim)
+    back = Checkpoint.from_dict(json.loads(json.dumps(ckpt.to_dict())))
+
+    scfg = SamplingConfig()
+    runs = []
+    for c in (ckpt, back):
+        cfg = MachineConfig.baseline(phys_regs=256)
+        machine = build_machine("vca-rw", cfg, [program])
+        seed_machine(machine, program, c, scfg)
+        runs.append(machine.run().to_dict())
+    assert runs[0] == runs[1]
+
+
+# ======================================================================
+# seeded timing runs (architectural equivalence on every model)
+# ======================================================================
+@pytest.mark.parametrize("model,phys_regs", [
+    ("baseline", 256), ("vca", 256), ("vca-rw", 256),
+    ("ideal-rw", 96), ("conventional-rw", 128),
+])
+def test_seeded_run_completes_architecturally(model, phys_regs):
+    """Enter a timing machine at a mid-program checkpoint and run to
+    completion: it must commit exactly the remaining instructions and
+    agree with the golden functional run on the final checksum."""
+    abi = model_abi(model)
+    program = benchmark_program("fib", abi, thread=0)
+    golden = FunctionalSim(program)
+    golden.run()
+    expected = golden.read_mem(program.data_base)
+
+    sim = CheckpointingSim(program)
+    fast_forward(sim, 1000)
+    ckpt = take_checkpoint(sim)
+
+    cfg = MachineConfig.baseline(phys_regs=phys_regs)
+    machine = build_machine(model, cfg, [program])
+    seed_machine(machine, program, ckpt, SamplingConfig())
+    stats = machine.run()
+    assert machine.hierarchy.read_word(program.data_base) == expected
+    assert stats.committed == golden.stats.instructions - 1000
+    machine.engine.regfile.check_invariants()
+
+
+def test_enter_at_requires_fresh_machine():
+    from repro.pipeline.core import SimulationError
+    program = benchmark_program("fib", "windowed", thread=0)
+    cfg = MachineConfig.baseline(phys_regs=256)
+    machine = build_machine("vca-rw", cfg, [program])
+    machine.run(commit_limit=10)
+    with pytest.raises(SimulationError):
+        machine.enter_at(0, 5)
+
+
+# ======================================================================
+# sampler invariants
+# ======================================================================
+def test_profile_intervals_partition_the_run():
+    program = benchmark_program("fib", "flat", thread=0)
+    golden = FunctionalSim(program)
+    golden.run()
+    profile = profile_intervals(program, 700)
+    assert sum(profile.counts) == golden.stats.instructions
+    assert all(c == 700 for c in profile.counts[:-1])
+    assert 0 < profile.counts[-1] <= 700
+    assert len(profile.bbvs) == profile.n_intervals
+    assert all(sum(b.values()) == c
+               for b, c in zip(profile.bbvs, profile.counts))
+
+
+def test_profile_intervals_rejects_bad_interval():
+    program = benchmark_program("fib", "flat", thread=0)
+    with pytest.raises(SamplingError):
+        profile_intervals(program, 0)
+
+
+def _fake_profile(n: int) -> IntervalProfile:
+    from repro.functional.interp import FunctionalStats
+    return IntervalProfile(counts=[100] * n,
+                           bbvs=[{i: 100} for i in range(n)],
+                           total=FunctionalStats(instructions=100 * n))
+
+
+@pytest.mark.parametrize("n,k", [(1, 8), (5, 8), (20, 8), (47, 3)])
+def test_select_systematic_conserves_weight(n, k):
+    reps, weights = select_intervals(
+        _fake_profile(n), SamplingConfig(n_detailed=k))
+    assert reps == sorted(reps)
+    assert len(set(reps)) == len(reps)
+    assert all(0 <= r < n for r in reps)
+    assert len(reps) <= min(n, k)
+    assert sum(weights) == pytest.approx(n)
+
+
+def test_select_bbv_conserves_weight():
+    np = pytest.importorskip("numpy")  # noqa: F841 — clustering dep
+    reps, weights = select_intervals(
+        _fake_profile(12), SamplingConfig(n_detailed=4, mode="bbv"))
+    assert reps == sorted(reps)
+    assert all(0 <= r < 12 for r in reps)
+    assert sum(weights) == pytest.approx(12)
+
+
+def test_select_rejects_unknown_mode():
+    with pytest.raises(SamplingError):
+        select_intervals(_fake_profile(4), SamplingConfig(mode="magic"))
+
+
+# ======================================================================
+# the sampled run end to end
+# ======================================================================
+def test_run_sampled_carries_exact_instruction_mix():
+    """Extrapolated stats must carry the functional pass's *exact*
+    totals for the instruction mix — only timing metrics are
+    estimates."""
+    program = benchmark_program("fib", model_abi("vca-rw"), thread=0)
+    golden = FunctionalSim(program)
+    golden.run()
+
+    cfg = MachineConfig.baseline(phys_regs=256)
+    stats, meta = run_sampled("vca-rw", cfg, program,
+                              SamplingConfig(interval_len=1000,
+                                             n_detailed=4))
+    t = stats.threads[0]
+    g = golden.stats
+    assert t.committed == g.instructions
+    assert t.loads == g.loads
+    assert t.stores == g.stores
+    assert t.calls == g.calls
+    assert t.cond_branches == g.cond_branches
+    assert stats.cycles == meta.est_cycles > 0
+    assert meta.total_instructions == g.instructions
+    assert meta.n_detailed <= meta.n_intervals
+    assert meta.detailed_cycles > 0
+    assert set(meta.errors) == {"ipc", "dl1_accesses", "spills",
+                                "fills", "branch_mispredicts"}
+
+
+def test_run_sampled_bbv_mode():
+    pytest.importorskip("numpy")
+    program = benchmark_program("fib", "flat", thread=0)
+    cfg = MachineConfig.baseline(phys_regs=256)
+    stats, meta = run_sampled("baseline", cfg, program,
+                              SamplingConfig(interval_len=1000,
+                                             n_detailed=3,
+                                             mode="bbv"))
+    assert meta.mode == "bbv"
+    assert stats.cycles > 0
+
+
+def test_run_sampled_emits_metrics():
+    from repro.obs import MetricsRegistry
+    program = benchmark_program("fib", "flat", thread=0)
+    cfg = MachineConfig.baseline(phys_regs=256)
+    m = MetricsRegistry()
+    stats, meta = run_sampled("baseline", cfg, program,
+                              SamplingConfig(interval_len=1000,
+                                             n_detailed=3),
+                              metrics=m)
+    assert m.counters["sampling.intervals_total"] == meta.n_intervals
+    assert m.counters["sampling.est_cycles"] == meta.est_cycles
+    assert stats.metrics["counters"]["sampling.detailed_cycles"] \
+        == meta.detailed_cycles
+
+
+def test_run_sampled_rejects_multithread():
+    program = benchmark_program("fib", "flat", thread=0)
+    cfg = MachineConfig.baseline(phys_regs=256).with_(n_threads=2)
+    with pytest.raises(SamplingError):
+        run_sampled("baseline", cfg, program)
+
+
+def test_run_point_sampled_roundtrips_through_cache(tmp_path,
+                                                    monkeypatch):
+    """The experiment runner's sampled path: metadata lands in the
+    RunResult, the cache key differs from the full-detail key, and the
+    cached entry decodes back."""
+    from repro.experiments import runner
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+    full = runner.run_point("baseline", ("fib",), 256)
+    sampled = runner.run_point("baseline", ("fib",), 256, sample=True,
+                               sample_interval=1000, sample_count=4)
+    assert not full.sampled
+    assert sampled.sampled
+    assert sampled.sample_intervals > 0
+    assert sampled.sample_detailed_cycles > 0
+    assert sampled.committed == full.committed  # exact mix totals
+    again = runner.run_point("baseline", ("fib",), 256, sample=True,
+                             sample_interval=1000, sample_count=4)
+    assert again == sampled
+    with pytest.raises(ValueError):
+        runner.run_point("baseline", ("fib", "fib"), 256, sample=True)

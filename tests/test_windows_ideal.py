@@ -1,0 +1,80 @@
+"""The idealised register-window machine (``repro.windows.ideal``).
+
+Section 4.1's lower bound: spills and fills happen instantaneously
+and without accessing the data cache.  These tests pin the three
+properties that definition implies — shared bookkeeping with the real
+VCA engine, zero-cost state traffic, and a cycle count no real
+windowed machine can beat — none of which the cross-validation suite
+checks directly.
+"""
+
+import pytest
+
+from repro.config import MachineConfig
+from repro.functional import FunctionalSim
+from repro.mem.hierarchy import MemoryHierarchy
+from repro.models import build_machine
+from repro.rename.vca import VcaRename
+from repro.windows.ideal import IdealWindowRename
+from repro.workloads.generator import benchmark_program
+
+
+def _run(model: str, phys_regs: int = 64):
+    program = benchmark_program("fib", abi="windowed", scale=1.0,
+                                seed=0)
+    cfg = MachineConfig.baseline().with_(phys_regs=phys_regs,
+                                         dl1_ports=2, n_threads=1)
+    machine = build_machine(model, cfg, [program])
+    return program, machine, machine.run()
+
+
+def test_ideal_engine_structure():
+    """Ideal mode is the VCA engine minus every structural cost: no
+    RSID compression, no ASTQ, no extra rename stage, no eviction
+    protection window."""
+    cfg = MachineConfig.baseline()
+    engine = IdealWindowRename(cfg, MemoryHierarchy(cfg))
+    assert isinstance(engine, VcaRename)
+    assert engine.ideal
+    assert engine.rsid is None
+    assert engine._astq is None
+    assert not engine.extra_rename_stage
+    assert engine._protect_age == 0
+
+
+def test_ideal_spills_are_traffic_free():
+    """Spills/fills still *happen* (the bookkeeping is shared with the
+    real engine) but never touch the data cache: only program loads
+    and stores may appear in the DL1 breakdown."""
+    _, _, stats = _run("ideal-rw")
+    assert stats.spills > 0 and stats.fills > 0
+    assert set(stats.dl1_breakdown) <= {"load", "store"}
+
+
+def test_ideal_never_stalls_rename():
+    """An unbounded conflict-free table can always rename: no
+    set-conflict, no-preg or ASTQ-full stall cycles."""
+    _, _, stats = _run("ideal-rw")
+    assert dict(stats.rename_stalls) == {}
+
+
+def test_ideal_is_a_lower_bound_on_vca():
+    """The whole point of the model: at equal register-file size the
+    ideal machine is never slower than the real VCA machine."""
+    _, _, ideal = _run("ideal-rw")
+    _, _, vca = _run("vca-rw")
+    assert ideal.cycles <= vca.cycles
+
+
+@pytest.mark.parametrize("phys_regs", [48, 64, 256])
+def test_ideal_architecturally_correct(phys_regs):
+    """Zero-cost traffic must still move the right values: final
+    checksum matches the functional interpreter at any register-file
+    size, including ones small enough to force heavy spilling."""
+    program, machine, stats = _run("ideal-rw", phys_regs)
+    golden = FunctionalSim(program)
+    golden.run()
+    got = machine.hierarchy.read_word(program.data_base)
+    assert got == golden.read_mem(program.data_base)
+    assert stats.committed == golden.stats.instructions
+    machine.engine.regfile.check_invariants()
