@@ -13,9 +13,17 @@ Commands mirror the paper's evaluation:
   live progress, a JSONL journal and ``--resume``.
 * ``disasm`` — disassemble a generated benchmark binary.
 * ``trace`` — render a JSONL event trace (from ``run --trace-out``)
-  as a per-instruction pipeline view.
+  as a per-instruction pipeline view; ``--follow`` tails a growing
+  trace live.
 * ``profile`` — where simulation wall-clock time goes: per-stage
   attribution plus cProfile hot functions.
+* ``top`` — live terminal dashboard over a run ledger
+  (``--ledger``): progress, cache hit rate, worker utilization, ETA,
+  rolling IPC aggregates.
+* ``report`` — render a run ledger as a self-contained HTML report
+  (span waterfall, stage flame view, per-point table).
+* ``bench diff`` — compare fresh cycle-loop throughput against the
+  ``BENCH_perf.json`` history; non-zero exit past the threshold.
 * ``lint`` — the simulator-aware static analysis suite
   (``repro.lint``); the CI gate runs ``repro lint --strict``.
 
@@ -67,33 +75,86 @@ def _cmd_run(args) -> int:
     cfg = MachineConfig.baseline(phys_regs=args.regs,
                                  dl1_ports=args.ports)
     smeta = None
-    if args.sample:
-        if len(benches) != 1:
-            print("repro run: --sample is single-threaded; give one "
-                  "benchmark", file=sys.stderr)
-            return 2
-        if args.trace or args.trace_out:
-            print("repro run: --sample simulates disjoint windows; "
-                  "tracing is only meaningful on full runs",
-                  file=sys.stderr)
-            return 2
-        from repro.sampling import SamplingConfig, run_sampled
-        scfg = SamplingConfig(interval_len=args.sample_interval,
-                              n_detailed=args.sample_count,
-                              mode=args.sample_mode,
-                              warmup_insns=args.sample_warmup)
-        metrics = (MetricsRegistry(args.metrics_interval)
-                   if args.metrics_interval is not None else None)
-        stats, smeta = run_sampled(args.model,
-                                   cfg.with_(n_threads=1),
-                                   programs[0], scfg, metrics=metrics)
-    else:
-        tracer = build_tracer(trace=args.trace, out=args.trace_out)
-        metrics = (MetricsRegistry(args.metrics_interval)
-                   if args.metrics_interval is not None else None)
-        machine = build_machine(args.model, cfg, programs,
-                                tracer=tracer, metrics=metrics)
-        stats = machine.run(stop_at_first_halt=len(benches) > 1)
+    if args.sample and len(benches) != 1:
+        print("repro run: --sample is single-threaded; give one "
+              "benchmark", file=sys.stderr)
+        return 2
+    if args.sample and (args.trace or args.trace_out):
+        print("repro run: --sample simulates disjoint windows; "
+              "tracing is only meaningful on full runs",
+              file=sys.stderr)
+        return 2
+
+    ledger = spans = root = prev = ru0 = None
+    run_key = f"run/{args.model}/{'+'.join(benches)}@{args.regs}"
+    if args.ledger:
+        from repro.experiments.engine import _rusage_snapshot
+        from repro.experiments.runner import source_hash
+        from repro.hooks import set_current_spans
+        from repro.obs import RunLedger, SpanTracer
+        ledger = RunLedger(args.ledger,
+                           command=" ".join(sys.argv[1:]) or "run",
+                           config_hash=source_hash())
+        spans = SpanTracer()
+        ledger.run_start(total=1, workers=1, trace_id=spans.trace_id)
+        root = spans.begin("run", model=args.model,
+                           label=run_key)
+        prev = set_current_spans(spans)
+        ru0 = _rusage_snapshot()
+
+    try:
+        if args.sample:
+            from repro.sampling import SamplingConfig, run_sampled
+            scfg = SamplingConfig(interval_len=args.sample_interval,
+                                  n_detailed=args.sample_count,
+                                  mode=args.sample_mode,
+                                  warmup_insns=args.sample_warmup)
+            metrics = (MetricsRegistry(args.metrics_interval)
+                       if args.metrics_interval is not None else None)
+            stats, smeta = run_sampled(args.model,
+                                       cfg.with_(n_threads=1),
+                                       programs[0], scfg,
+                                       metrics=metrics)
+        else:
+            from repro.hooks import current_spans
+            tracer = build_tracer(trace=args.trace, out=args.trace_out)
+            metrics = (MetricsRegistry(args.metrics_interval)
+                       if args.metrics_interval is not None else None)
+            machine = build_machine(args.model, cfg, programs,
+                                    tracer=tracer, metrics=metrics)
+            sp = current_spans()
+            with sp.span("simulate", model=args.model):
+                stats = machine.run(stop_at_first_halt=len(benches) > 1)
+    except BaseException:  # lint: allow-broad-except
+        if ledger is not None:
+            from repro.experiments.engine import _rusage_delta
+            from repro.hooks import set_current_spans
+            spans.close(status="terminated")
+            ledger.point(key=run_key, status="failed",
+                         error="exception (see stderr)",
+                         rusage=_rusage_delta(ru0),
+                         spans=spans.drain())
+            ledger.run_end(status="interrupted",
+                           counts={"failed": 1})
+            ledger.close()
+            set_current_spans(prev)
+        raise
+    if ledger is not None:
+        from repro.experiments.engine import _rusage_delta
+        from repro.hooks import set_current_spans
+        spans.end(root, status="ok")
+        ledger.point(
+            key=run_key, status="done",
+            payload={"cycles": stats.cycles,
+                     "committed": [t.committed for t in stats.threads]},
+            elapsed=(root.t1 or 0.0) - root.t0,
+            cache="miss", rusage=_rusage_delta(ru0),
+            spans=spans.drain())
+        ledger.run_end(status="ok", counts={"done": 1},
+                       elapsed=(root.t1 or 0.0) - root.t0)
+        ledger.close()
+        set_current_spans(prev)
+        print(f"ledger: appended run {ledger.run_id} to {ledger.path}")
     print(f"model={args.model} regs={args.regs} ports={args.ports} "
           f"benches={','.join(benches)}"
           + (f" seed={args.seed}" if args.seed is not None else ""))
@@ -224,16 +285,98 @@ def _cmd_lint(args) -> int:
     return lint_main(args)
 
 
+def _parse_cycle_range(spec: str):
+    """``A:B`` with either end optional → ``(lo, hi)`` (None = open)."""
+    lo_s, sep, hi_s = spec.partition(":")
+    if not sep:
+        raise ValueError(f"expected A:B, got {spec!r}")
+    return (int(lo_s) if lo_s else None,
+            int(hi_s) if hi_s else None)
+
+
+def _in_cycle_range(ev: dict, lo, hi) -> bool:
+    cycle = ev.get("cycle")
+    if cycle is None:
+        return lo is None and hi is None
+    return ((lo is None or cycle >= lo)
+            and (hi is None or cycle <= hi))
+
+
+def _fmt_event(ev: dict) -> str:
+    rest = " ".join(f"{k}={ev[k]}" for k in sorted(ev)
+                    if k not in ("cycle", "tid", "kind"))
+    return (f"{ev.get('cycle', '?'):>8} t{ev.get('tid', '?')} "
+            f"{ev.get('kind', '?'):<12} {rest}".rstrip())
+
+
+def _follow_trace(path, lo, hi, tid, idle_timeout) -> int:
+    """Tail a growing JSONL trace, printing one line per event."""
+    import json
+    import time as _time
+
+    try:
+        fh = open(path, "r")
+    except OSError as exc:
+        print(f"repro trace: cannot read {path}: {exc}",
+              file=sys.stderr)
+        return 2
+    printed = 0
+    idle = 0.0
+    with fh:
+        while True:
+            line = fh.readline()
+            if not line:
+                if idle_timeout is not None and idle >= idle_timeout:
+                    print(f"(follow: idle {idle_timeout:g}s, "
+                          f"{printed} events shown)", file=sys.stderr)
+                    return 0
+                _time.sleep(0.1)
+                idle += 0.1
+                continue
+            idle = 0.0
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                ev = json.loads(line)
+            except ValueError:
+                continue  # partial line mid-write; next read retries
+            if tid is not None and ev.get("tid") != tid:
+                continue
+            if not _in_cycle_range(ev, lo, hi):
+                continue
+            print(_fmt_event(ev), flush=True)
+            printed += 1
+
+
 def _cmd_trace(args) -> int:
     from repro.obs import read_jsonl
     from repro.obs.pipeview import event_counts, render_pipeline_view
 
+    lo = hi = None
+    if args.cycle_range:
+        try:
+            lo, hi = _parse_cycle_range(args.cycle_range)
+        except ValueError:
+            print(f"repro trace: --cycle-range wants A:B (either end "
+                  f"optional), got {args.cycle_range!r}",
+                  file=sys.stderr)
+            return 2
+    if args.follow:
+        if args.counts:
+            print("repro trace: --follow and --counts are exclusive",
+                  file=sys.stderr)
+            return 2
+        return _follow_trace(args.path, lo, hi, args.tid,
+                             args.idle_timeout)
     try:
         events = list(read_jsonl(args.path))
     except OSError as exc:
         print(f"repro trace: cannot read {args.path}: {exc}",
               file=sys.stderr)
         return 2
+    if args.cycle_range:
+        events = [ev for ev in events if _in_cycle_range(ev, lo, hi)]
     if args.counts:
         counts = event_counts(events)
         width = max((len(k) for k in counts), default=4)
@@ -242,6 +385,43 @@ def _cmd_trace(args) -> int:
         return 0
     print(render_pipeline_view(events, tid=args.tid, limit=args.limit))
     return 0
+
+
+def _cmd_top(args) -> int:
+    from repro.obs.dashboard import top_loop
+    return top_loop(args.path, interval=args.interval,
+                    max_ticks=1 if args.once else None,
+                    clear=not args.once)
+
+
+def _cmd_report(args) -> int:
+    from pathlib import Path
+
+    from repro.obs import read_ledger
+    from repro.obs.htmlreport import render_html
+
+    try:
+        records = read_ledger(args.path)
+    except OSError as exc:
+        print(f"repro report: cannot read {args.path}: {exc}",
+              file=sys.stderr)
+        return 2
+    if not records:
+        print(f"repro report: {args.path} has no ledger records",
+              file=sys.stderr)
+        return 2
+    out = Path(args.out or Path(args.path).with_suffix(".html"))
+    out.write_text(render_html(records, title=args.title))
+    print(f"report: wrote {out}")
+    return 0
+
+
+def _cmd_bench_diff(args) -> int:
+    from repro.experiments.benchdiff import bench_diff
+    return bench_diff(history_path=args.history, rounds=args.rounds,
+                      threshold=args.threshold,
+                      report_only=args.report_only,
+                      json_out=args.json)
 
 
 def _cmd_table2(args) -> int:
@@ -381,6 +561,14 @@ def _cmd_sweep(args) -> int:
     metrics = MetricsRegistry()
     live = sys.stderr.isatty()
 
+    ledger = None
+    if args.ledger:
+        from repro.experiments.runner import source_hash
+        from repro.obs import RunLedger
+        ledger = RunLedger(args.ledger,
+                           command=" ".join(sys.argv[1:]) or "sweep",
+                           config_hash=source_hash())
+
     def on_progress(p) -> None:
         line = render_progress(p)
         if live:
@@ -390,11 +578,19 @@ def _cmd_sweep(args) -> int:
             print(line, file=sys.stderr, flush=True)
 
     t0 = time.monotonic()
-    outcomes = engine.run(
-        points, journal=args.journal, resume=args.resume,
-        progress=None if args.quiet else on_progress, metrics=metrics)
+    try:
+        outcomes = engine.run(
+            points, journal=args.journal, resume=args.resume,
+            progress=None if args.quiet else on_progress,
+            metrics=metrics, ledger=ledger)
+    finally:
+        if ledger is not None:
+            ledger.close()
     if live and not args.quiet:
         print(file=sys.stderr)
+    if ledger is not None:
+        print(f"ledger: run {ledger.run_id} appended to {ledger.path} "
+              f"(try `repro report {ledger.path}`)", file=sys.stderr)
     print(render_outcome_summary(outcomes, time.monotonic() - t0))
 
     failed = [oc for oc in outcomes.values() if not oc.ok]
@@ -463,6 +659,9 @@ def build_parser() -> argparse.ArgumentParser:
                           "counters every N cycles (0: final only)")
     run.add_argument("--json", metavar="PATH", default=None,
                      help="also write full stats as JSON")
+    run.add_argument("--ledger", metavar="PATH", default=None,
+                     help="append a run-ledger record (spans, rusage) "
+                          "readable by `repro top` / `repro report`")
     run.add_argument("--sample", action="store_true",
                      help="checkpointed sampled simulation: detailed-"
                           "simulate representative intervals and "
@@ -526,8 +725,12 @@ def build_parser() -> argparse.ArgumentParser:
                     metavar="SECS", help="per-point timeout")
     sw.add_argument("--journal", metavar="PATH", default=None,
                     help="append per-point results to a JSONL journal")
+    sw.add_argument("--ledger", metavar="PATH", default=None,
+                    help="append the run ledger (spans, rusage, cache "
+                         "hits) here; doubles as a resume journal")
     sw.add_argument("--resume", action="store_true",
-                    help="skip points already completed in --journal")
+                    help="skip points already completed in --journal "
+                         "(or --ledger when no journal is given)")
     sw.add_argument("--no-cache", action="store_true",
                     help="ignore (and don't consult) the result cache")
     sw.add_argument("--sample", action="store_true",
@@ -587,7 +790,58 @@ def build_parser() -> argparse.ArgumentParser:
                     help="max instructions to show (default 64)")
     tr.add_argument("--counts", action="store_true",
                     help="print per-kind event totals instead")
+    tr.add_argument("--follow", action="store_true",
+                    help="tail the trace live, printing events as the "
+                         "simulator appends them")
+    tr.add_argument("--cycle-range", metavar="A:B", default=None,
+                    help="only events with A <= cycle <= B (either "
+                         "end may be omitted, e.g. 100: or :5000)")
+    tr.add_argument("--idle-timeout", type=float, default=None,
+                    metavar="SECS",
+                    help="with --follow: exit once the file stops "
+                         "growing for SECS (default: follow forever)")
     tr.set_defaults(fn=_cmd_trace)
+
+    top = sub.add_parser(
+        "top", help="live terminal dashboard over a run ledger")
+    top.add_argument("path", help="ledger file from `sweep --ledger`")
+    top.add_argument("--interval", type=float, default=1.0,
+                     metavar="SECS",
+                     help="refresh interval (default 1s)")
+    top.add_argument("--once", action="store_true",
+                     help="render one snapshot and exit")
+    top.set_defaults(fn=_cmd_top)
+
+    rep = sub.add_parser(
+        "report", help="render a run ledger as self-contained HTML")
+    rep.add_argument("path", help="ledger file from `sweep --ledger`")
+    rep.add_argument("--out", metavar="PATH", default=None,
+                     help="output file (default: ledger path with "
+                          ".html suffix)")
+    rep.add_argument("--title", default=None,
+                     help="report title (default: the run id)")
+    rep.set_defaults(fn=_cmd_report)
+
+    bench = sub.add_parser(
+        "bench", help="performance-benchmark utilities")
+    bsub = bench.add_subparsers(dest="bench_cmd", required=True)
+    bd = bsub.add_parser(
+        "diff", help="compare fresh cycle-loop throughput against "
+                     "the BENCH_perf.json history")
+    bd.add_argument("--history", metavar="PATH", default=None,
+                    help="history file (default: BENCH_perf.json at "
+                         "the repo root)")
+    bd.add_argument("--rounds", type=int, default=3, metavar="N",
+                    help="measurement rounds per benchmark (best-of)")
+    bd.add_argument("--threshold", type=float, default=0.15,
+                    help="regression threshold as a fraction below "
+                         "the history baseline (default 0.15)")
+    bd.add_argument("--report-only", action="store_true",
+                    help="always exit 0 (CI soft mode): report the "
+                         "numbers without gating")
+    bd.add_argument("--json", metavar="PATH", default=None,
+                    help="also write the comparison rows as JSON")
+    bd.set_defaults(fn=_cmd_bench_diff)
 
     ln = sub.add_parser(
         "lint", help="simulator-aware static analysis of the source "

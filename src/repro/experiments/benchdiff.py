@@ -1,0 +1,159 @@
+"""``repro bench diff``: detect cycle-loop performance regressions.
+
+``benchmarks/test_perf_cycle_loop.py`` appends a record to
+``BENCH_perf.json`` every time it runs, accumulating a history of
+cycles-per-second measurements.  This module re-measures the same
+workloads fresh (best-of-N, same model/scale as the benchmark) and
+compares against the history baseline — the median of the most recent
+entries, which is robust to one outlier run on a noisy machine.  A
+benchmark is a regression when its fresh throughput falls more than
+``threshold`` below that baseline.
+
+Exit codes: 0 (no regression), 1 (regression past threshold), 2 (no
+usable history — nothing to diff against).  ``report_only`` forces
+exit 0 so CI can surface the numbers without gating merges on a
+shared runner's timer noise.
+"""
+
+from __future__ import annotations
+
+import json
+import statistics
+import time
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence
+
+from repro.config import MachineConfig
+from repro.models.factory import build_machine, model_abi
+from repro.workloads.generator import benchmark_program
+
+__all__ = [
+    "DEFAULT_HISTORY", "default_history_path", "measure_fresh",
+    "history_baseline", "diff_rows", "render_diff", "bench_diff",
+]
+
+#: The benchmark set BENCH_perf.json history records.
+BENCHES = ("fib", "gzip_graphic")
+MODEL = "vca-rw"
+SCALE = 4.0
+DEFAULT_HISTORY = "BENCH_perf.json"
+#: History entries (most recent first) the baseline median spans.
+BASELINE_WINDOW = 5
+
+
+def default_history_path() -> Path:
+    """``BENCH_perf.json`` at the repository root."""
+    return Path(__file__).resolve().parents[3] / DEFAULT_HISTORY
+
+
+def measure_fresh(benches: Sequence[str] = BENCHES, rounds: int = 3,
+                  scale: float = SCALE,
+                  model: str = MODEL) -> Dict[str, Dict]:
+    """Best-of-``rounds`` cycles/sec per benchmark, matching the
+    measurement loop of ``benchmarks/test_perf_cycle_loop.py``."""
+    out: Dict[str, Dict] = {}
+    cfg = MachineConfig.baseline().with_(
+        phys_regs=256, dl1_ports=2, n_threads=1)
+    abi = model_abi(model)
+    for bench in benches:
+        best = 0.0
+        cycles = 0
+        for _ in range(max(1, rounds)):
+            prog = benchmark_program(bench, abi=abi, scale=scale,
+                                     seed=0)
+            machine = build_machine(model, cfg, [prog])
+            t0 = time.perf_counter()
+            stats = machine.run()
+            dt = time.perf_counter() - t0
+            cycles = stats.cycles
+            best = max(best, cycles / dt if dt else 0.0)
+        out[bench] = {"cycles": cycles, "cycles_per_sec": best}
+    return out
+
+
+def load_history(path) -> List[Dict]:
+    """The BENCH_perf.json entry list (empty on any read problem)."""
+    try:
+        history = json.loads(Path(path).read_text())
+    except (OSError, ValueError):
+        return []
+    return history if isinstance(history, list) else []
+
+
+def history_baseline(history: List[Dict], bench: str,
+                     window: int = BASELINE_WINDOW
+                     ) -> Optional[float]:
+    """Median cycles/sec over the last ``window`` history entries
+    that measured ``bench`` (``None`` when no entry did)."""
+    values = []
+    for entry in reversed(history):
+        rec = (entry.get("results") or {}).get(bench)
+        if isinstance(rec, dict) and rec.get("cycles_per_sec"):
+            values.append(float(rec["cycles_per_sec"]))
+        if len(values) >= window:
+            break
+    return statistics.median(values) if values else None
+
+
+def diff_rows(fresh: Dict[str, Dict], history: List[Dict],
+              threshold: float) -> List[Dict]:
+    """One comparison row per freshly measured benchmark."""
+    rows = []
+    for bench, rec in sorted(fresh.items()):
+        base = history_baseline(history, bench)
+        cps = float(rec["cycles_per_sec"])
+        ratio = cps / base if base else None
+        rows.append({
+            "bench": bench,
+            "fresh_cps": cps,
+            "baseline_cps": base,
+            "ratio": ratio,
+            "regressed": (ratio is not None
+                          and ratio < 1.0 - threshold),
+        })
+    return rows
+
+
+def render_diff(rows: List[Dict], threshold: float) -> str:
+    lines = [f"{'benchmark':<16}{'fresh c/s':>12}{'baseline':>12}"
+             f"{'ratio':>8}  verdict"]
+    for r in rows:
+        if r["baseline_cps"] is None:
+            verdict, base, ratio = "no history", "--", "--"
+        else:
+            verdict = ("REGRESSED" if r["regressed"] else "ok")
+            base = f"{r['baseline_cps']:,.0f}"
+            ratio = f"{r['ratio']:.2f}x"
+        lines.append(f"{r['bench']:<16}{r['fresh_cps']:>12,.0f}"
+                     f"{base:>12}{ratio:>8}  {verdict}")
+    lines.append(f"(threshold: >{threshold:.0%} below the median of "
+                 f"the last {BASELINE_WINDOW} history entries)")
+    return "\n".join(lines)
+
+
+def bench_diff(history_path=None, rounds: int = 3,
+               threshold: float = 0.15, report_only: bool = False,
+               json_out=None, out=print) -> int:
+    """Run the comparison end to end; returns the process exit code."""
+    path = Path(history_path) if history_path else default_history_path()
+    history = load_history(path)
+    fresh = measure_fresh(rounds=rounds)
+    rows = diff_rows(fresh, history, threshold)
+    out(f"bench diff: history {path} ({len(history)} entries)")
+    out(render_diff(rows, threshold))
+    if json_out:
+        Path(json_out).write_text(json.dumps({
+            "schema": "repro.bench-diff", "schema_version": 1,
+            "history": str(path), "history_entries": len(history),
+            "threshold": threshold, "rows": rows,
+        }, indent=2, sort_keys=True))
+        out(f"(wrote {json_out})")
+    if all(r["baseline_cps"] is None for r in rows):
+        out("bench diff: no usable history; run the benchmarks "
+            "(pytest benchmarks/) to seed BENCH_perf.json")
+        return 0 if report_only else 2
+    regressed = [r["bench"] for r in rows if r["regressed"]]
+    if regressed:
+        out(f"bench diff: REGRESSION in {', '.join(regressed)}")
+        return 0 if report_only else 1
+    return 0

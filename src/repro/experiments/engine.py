@@ -23,11 +23,24 @@ journal (failed and timed-out points are retried).  Progress flows
 through a callback as :class:`SweepProgress` snapshots, and per-point
 accounting can be aggregated into a
 :class:`repro.obs.MetricsRegistry`.
+
+With a :class:`repro.obs.runlog.RunLedger` attached (``ledger=``),
+every run additionally leaves an auditable record: the engine writes
+the ``run_start``/``point``/``run_end`` records, collects per-point
+``getrusage`` deltas in the worker, and weaves one span tree per point
+(``sweep → point → ...``) across the Pipe boundary — workers continue
+the parent's trace via a propagated span context and ship their
+finished spans back alongside the payload.  Points that never report
+(crash, timeout) get a terminated span synthesized parent-side, so the
+ledger always reassembles into exactly one tree per point.  A ledger
+doubles as a resume journal: its ``point`` records carry the same
+``key``/``status``/``payload`` fields.
 """
 
 from __future__ import annotations
 
 import json
+import math
 import multiprocessing as mp
 import os
 import time
@@ -39,6 +52,9 @@ from pathlib import Path
 from typing import (
     Any, Callable, Dict, Iterable, List, Optional, Sequence, Tuple,
 )
+
+from repro.hooks import set_current_spans
+from repro.obs.spans import SpanTracer
 
 from .plan import Point, SweepSpec, unique_points
 
@@ -65,6 +81,12 @@ class PointOutcome:
     payload: Optional[dict] = None
     error: str = ""
     elapsed: float = 0.0
+    #: Worker-side resource usage delta (``getrusage``); ``None`` when
+    #: no ledger was attached or the worker never reported.
+    rusage: Optional[dict] = None
+    #: Finished span dicts for this point (worker-exported, or
+    #: synthesized parent-side for cached/crashed/timed-out points).
+    spans: Optional[List[dict]] = None
 
     @property
     def ok(self) -> bool:
@@ -146,6 +168,38 @@ def load_journal(path: Path) -> Dict[str, dict]:
     return records
 
 
+def _rusage_snapshot() -> Optional[Dict[str, float]]:
+    """Current-process resource usage, or ``None`` where the
+    :mod:`resource` module is unavailable (non-Unix)."""
+    try:
+        import resource
+    except ImportError:  # pragma: no cover - non-Unix
+        return None
+    ru = resource.getrusage(resource.RUSAGE_SELF)
+    return {"utime": ru.ru_utime, "stime": ru.ru_stime,
+            "maxrss_kb": ru.ru_maxrss,
+            "minflt": ru.ru_minflt, "majflt": ru.ru_majflt}
+
+
+def _rusage_delta(before: Optional[Dict]) -> Optional[Dict]:
+    """Resource usage since ``before`` (``maxrss_kb`` is the process
+    high-water mark, not a delta)."""
+    after = _rusage_snapshot()
+    if before is None or after is None:
+        return after
+    return {"utime": round(after["utime"] - before["utime"], 6),
+            "stime": round(after["stime"] - before["stime"], 6),
+            "maxrss_kb": after["maxrss_kb"],
+            "minflt": after["minflt"] - before["minflt"],
+            "majflt": after["majflt"] - before["majflt"]}
+
+
+#: Outcome status -> span status for point spans synthesized
+#: parent-side (a worker that reported carries its own statuses).
+_SPAN_STATUS = {"done": "ok", "cached": "cached", "resumed": "resumed",
+                "failed": "terminated", "timeout": "timeout"}
+
+
 def _journal_line(outcome: PointOutcome) -> str:
     return json.dumps({
         "key": outcome.point.cache_key(),
@@ -171,12 +225,18 @@ class _EngineBase:
             resume: bool = False,
             progress: Optional[Callable[[SweepProgress], None]] = None,
             metrics: Optional[Any] = None,
+            ledger: Optional[Any] = None,
             ) -> Dict[Point, PointOutcome]:
         """Run ``points`` (or a plan's expansion) to completion.
 
         Never raises for a failing *point* — inspect the returned
         outcomes (or call :meth:`PointOutcome.result`, which raises
         :class:`EngineError` for failures).
+
+        ``ledger`` (a :class:`repro.obs.runlog.RunLedger`) enables the
+        audit trail and span tracing: run/point records, per-point
+        rusage, and one span tree per point.  With ``resume`` and no
+        ``journal``, a ledger's own file is used as the resume journal.
         """
         pts = unique_points(points)
         prog = SweepProgress(total=len(pts))
@@ -185,16 +245,28 @@ class _EngineBase:
         outcomes: Dict[Point, PointOutcome] = {}
 
         journal_path = Path(journal) if journal is not None else None
-        prior = (load_journal(journal_path)
-                 if resume and journal_path is not None else {})
+        prior: Dict[str, dict] = {}
+        if resume:
+            if journal_path is not None:
+                prior = load_journal(journal_path)
+            elif ledger is not None:
+                prior = load_journal(ledger.path)
         jfh = journal_path.open("a") if journal_path is not None else None
         if metrics is not None:
             metrics.set("sweep.points.total", len(pts))
 
+        spans = SpanTracer() if ledger is not None else None
+        sweep_span = None
+        if ledger is not None:
+            ledger.run_start(total=len(pts), workers=self.workers,
+                             trace_id=spans.trace_id)
+            sweep_span = spans.begin("sweep", total=len(pts))
+
         def emit(outcome: PointOutcome) -> None:
             """Record one resolved point: outcome map, progress/ETA,
-            journal line, metrics — the single bookkeeping path every
-            engine's ``_execute`` reports through."""
+            journal line, ledger record, metrics — the single
+            bookkeeping path every engine's ``_execute`` reports
+            through."""
             outcomes[outcome.point] = outcome
             setattr(prog, outcome.status,
                     getattr(prog, outcome.status) + 1)
@@ -203,13 +275,43 @@ class _EngineBase:
                 elapsed_samples.append(outcome.elapsed)
             remaining = prog.total - prog.completed
             if elapsed_samples and remaining:
+                # Only points that actually executed feed the rate
+                # estimate (cached/resumed points resolve in
+                # microseconds and would make a mostly-cached resume
+                # look nearly free), and a worker pool finishes the
+                # residue in whole waves: 1 remaining point on 8
+                # workers still costs one full point, not 1/8th.
                 avg = sum(elapsed_samples) / len(elapsed_samples)
-                prog.eta = avg * remaining / max(1, self.workers)
+                prog.eta = avg * math.ceil(
+                    remaining / max(1, self.workers))
             elif not remaining:
                 prog.eta = 0.0
             if jfh is not None:
                 jfh.write(_journal_line(outcome) + "\n")
                 jfh.flush()
+            if ledger is not None:
+                if not outcome.spans:
+                    # The worker never exported spans (cache hit,
+                    # resume replay, hard crash, timeout): synthesize
+                    # a terminated point span parent-side so the
+                    # ledger still holds one tree per point.
+                    end_t = time.time()
+                    spans.record(
+                        "point", end_t - outcome.elapsed, end_t,
+                        status=_SPAN_STATUS.get(outcome.status,
+                                                outcome.status),
+                        key=outcome.point.cache_key(),
+                        label=outcome.point.label)
+                cache = {"cached": "hit", "resumed": "hit",
+                         "done": "miss"}.get(outcome.status)
+                ledger.point(
+                    key=outcome.point.cache_key(),
+                    status=outcome.status,
+                    point=outcome.point.to_dict(),
+                    payload=outcome.payload, error=outcome.error,
+                    elapsed=outcome.elapsed, cache=cache,
+                    rusage=outcome.rusage,
+                    spans=(outcome.spans or []) + spans.drain())
             if metrics is not None:
                 metrics.inc(f"sweep.points.{outcome.status}")
                 if outcome.status in ("done", "failed", "timeout"):
@@ -223,7 +325,8 @@ class _EngineBase:
             for pt in pts:
                 if pt.cacheable:
                     rec = prior.get(pt.cache_key())
-                    if (rec is not None and rec["status"] in _OK_STATUSES
+                    if (rec is not None
+                            and rec.get("status") in _OK_STATUSES
                             and rec.get("payload") is not None):
                         emit(PointOutcome(pt, "resumed",
                                           payload=rec["payload"]))
@@ -235,14 +338,29 @@ class _EngineBase:
                                               payload=payload))
                             continue
                 to_run.append(pt)
-            self._execute(to_run, emit)
+            self._execute(to_run, emit, spans=spans, ledger=ledger)
         finally:
+            if ledger is not None:
+                spans.end(sweep_span, **{
+                    f"points.{k}": getattr(prog, k)
+                    for k in ("done", "cached", "resumed", "failed",
+                              "timeout") if getattr(prog, k)})
+                ledger.run_end(
+                    status="ok" if prog.completed == prog.total
+                    else "interrupted",
+                    counts={k: getattr(prog, k)
+                            for k in ("done", "cached", "resumed",
+                                      "failed", "timeout")},
+                    elapsed=time.monotonic() - t0,
+                    spans=spans.drain())
             if jfh is not None:
                 jfh.close()
         return outcomes
 
     def _execute(self, points: Sequence[Point],
-                 emit: Callable[[PointOutcome], None]) -> None:
+                 emit: Callable[[PointOutcome], None],
+                 spans: Optional[SpanTracer] = None,
+                 ledger: Optional[Any] = None) -> None:
         raise NotImplementedError
 
 
@@ -251,33 +369,81 @@ class SerialEngine(_EngineBase):
     isolation — the reference implementation parallel runs must
     match."""
 
-    def _execute(self, points, emit):
+    def _execute(self, points, emit, spans=None, ledger=None):
         for pt in points:
+            if ledger is not None:
+                ledger.point_start(pt.cache_key(), pt.label)
+            prev = None
+            psp = None
+            ru0 = _rusage_snapshot() if ledger is not None else None
+            if spans is not None:
+                prev = set_current_spans(spans)
+                psp = spans.begin("point", key=pt.cache_key(),
+                                  label=pt.label)
             t0 = time.monotonic()
             try:
                 payload = pt.execute(use_cache=self.use_cache)
-                emit(PointOutcome(pt, "done", payload=payload,
-                                  elapsed=time.monotonic() - t0))
+                outcome = PointOutcome(pt, "done", payload=payload,
+                                       elapsed=time.monotonic() - t0)
+                if spans is not None:
+                    spans.end(psp, status="ok")
             except Exception:  # lint: allow-broad-except (point isolation)
-                emit(PointOutcome(pt, "failed",
-                                  error=traceback.format_exc(limit=8),
-                                  elapsed=time.monotonic() - t0))
+                outcome = PointOutcome(
+                    pt, "failed", error=traceback.format_exc(limit=8),
+                    elapsed=time.monotonic() - t0)
+                if spans is not None:
+                    spans.end(psp, status="error")
+            finally:
+                if spans is not None:
+                    set_current_spans(prev)
+            if ledger is not None:
+                outcome.rusage = _rusage_delta(ru0)
+                outcome.spans = spans.drain()
+            emit(outcome)
 
 
 def _worker_main(conn, point: Point, use_cache: bool,
-                 env: Dict[str, str]) -> None:
-    """Run one point in a worker process and ship its payload back."""
+                 env: Dict[str, str],
+                 span_ctx: Optional[Dict] = None) -> None:
+    """Run one point in a worker process and ship its payload back.
+
+    The Pipe message is ``(kind, value, meta)``: kind ``"ok"`` with the
+    payload or ``"error"`` with a traceback, plus a meta dict carrying
+    the worker's finished spans and its ``getrusage`` delta.  With a
+    ``span_ctx`` the worker continues the parent's trace: it installs
+    its own tracer as the process-wide current one, so the sampling
+    pipeline's phase spans land under this point's span.
+    """
+    ru0 = _rusage_snapshot()
+    tracer = psp = None
     try:
         apply_repro_env(env)
+        if span_ctx is not None:
+            tracer = SpanTracer.from_context(span_ctx)
+            set_current_spans(tracer)
+            psp = tracer.begin("point", key=point.cache_key(),
+                              label=point.label)
         payload = point.execute(use_cache=use_cache)
-        conn.send(("ok", payload))
+        if tracer is not None:
+            tracer.end(psp, status="ok")
+        conn.send(("ok", payload, _worker_meta(tracer, ru0)))
     except Exception:  # lint: allow-broad-except (crash isolation)
+        if tracer is not None:
+            tracer.close(status="error")
         try:
-            conn.send(("error", traceback.format_exc(limit=8)))
+            conn.send(("error", traceback.format_exc(limit=8),
+                       _worker_meta(tracer, ru0)))
         except (OSError, ValueError):  # pragma: no cover - pipe already gone
             pass
     finally:
         conn.close()
+
+
+def _worker_meta(tracer: Optional[SpanTracer],
+                 ru0: Optional[Dict]) -> Dict:
+    """The telemetry side-channel shipped back beside every result."""
+    return {"spans": tracer.export() if tracer is not None else [],
+            "rusage": _rusage_delta(ru0)}
 
 
 class ParallelEngine(_EngineBase):
@@ -305,18 +471,21 @@ class ParallelEngine(_EngineBase):
                             else "spawn")
         self._ctx = mp.get_context(start_method)
 
-    def _execute(self, points, emit):
+    def _execute(self, points, emit, spans=None, ledger=None):
         pending = deque(points)
         live: Dict[Any, Tuple[Point, float, Any]] = {}
         env = repro_env()
+        span_ctx = spans.context() if spans is not None else None
         try:
             while pending or live:
                 while pending and len(live) < self.workers:
                     pt = pending.popleft()
+                    if ledger is not None:
+                        ledger.point_start(pt.cache_key(), pt.label)
                     recv, send = self._ctx.Pipe(duplex=False)
                     proc = self._ctx.Process(
                         target=_worker_main,
-                        args=(send, pt, self.use_cache, env),
+                        args=(send, pt, self.use_cache, env, span_ctx),
                         daemon=True)
                     proc.start()
                     send.close()
@@ -345,17 +514,22 @@ class ParallelEngine(_EngineBase):
         still running."""
         elapsed = now - started
         if conn.poll(0):
+            meta: Dict = {}
             try:
-                kind, value = conn.recv()
+                kind, value, meta = conn.recv()
             except (EOFError, OSError):
                 kind, value = None, None
             proc.join()
             if kind == "ok":
                 return PointOutcome(pt, "done", payload=value,
-                                    elapsed=elapsed)
+                                    elapsed=elapsed,
+                                    rusage=meta.get("rusage"),
+                                    spans=meta.get("spans"))
             if kind == "error":
                 return PointOutcome(pt, "failed", error=value,
-                                    elapsed=elapsed)
+                                    elapsed=elapsed,
+                                    rusage=meta.get("rusage"),
+                                    spans=meta.get("spans"))
             return PointOutcome(
                 pt, "failed", elapsed=elapsed,
                 error=f"worker died without reporting "

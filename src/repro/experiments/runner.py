@@ -19,6 +19,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 import repro
 from repro.config import MachineConfig
+from repro.hooks import current_spans
 from repro.functional import measure_path_length
 from repro.models import build_machine, model_abi
 from repro.rename.base import UnrunnableConfigError
@@ -50,6 +51,7 @@ HASH_EXCLUDE: Tuple[str, ...] = (
     "experiments/report.py",
     "experiments/plan.py",
     "experiments/engine.py",
+    "experiments/benchdiff.py",
 )
 
 _source_hash: Optional[str] = None
@@ -235,7 +237,11 @@ def run_point(model: str, benches: Sequence[str], phys_regs: int,
                                        programs[0], scfg)
         else:
             machine = build_machine(model, cfg, programs)
-            stats = machine.run(stop_at_first_halt=len(benches) > 1)
+            # The span tracer holds the clocks; this module stays
+            # deterministic (D002) and only names the phase.
+            sp = current_spans()
+            with sp.span("simulate", model=model):
+                stats = machine.run(stop_at_first_halt=len(benches) > 1)
     except UnrunnableConfigError:
         result = RunResult(model=model, benches=benches,
                            phys_regs=phys_regs, dl1_ports=dl1_ports,

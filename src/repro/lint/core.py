@@ -173,10 +173,11 @@ class LintConfig:
     #: Event kind -> permitted field names; ``None`` loads
     #: ``repro.obs.schema.EVENTS`` lazily.
     events: Optional[Mapping[str, Tuple[str, ...]]] = None
-    #: Counter / distribution name patterns (``*`` wildcards); ``None``
-    #: loads the ``repro.obs.schema`` tuples lazily.
+    #: Counter / distribution / span name patterns (``*`` wildcards);
+    #: ``None`` loads the ``repro.obs.schema`` tuples lazily.
     counters: Optional[Sequence[str]] = None
     dists: Optional[Sequence[str]] = None
+    spans: Optional[Sequence[str]] = None
 
     def __post_init__(self) -> None:
         self.package_root = Path(self.package_root)
@@ -184,9 +185,11 @@ class LintConfig:
             self.package_name = self.package_root.name
 
     def resolved_schema(self):
-        """The ``(events, counters, dists)`` registry in force."""
-        events, counters, dists = self.events, self.counters, self.dists
-        if events is None or counters is None or dists is None:
+        """The ``(events, counters, dists, spans)`` registry in force."""
+        events, counters = self.events, self.counters
+        dists, spans = self.dists, self.spans
+        if (events is None or counters is None or dists is None
+                or spans is None):
             from repro.obs import schema as _default
             if events is None:
                 events = _default.EVENTS
@@ -194,7 +197,9 @@ class LintConfig:
                 counters = _default.COUNTERS
             if dists is None:
                 dists = _default.DISTS
-        return events, tuple(counters), tuple(dists)
+            if spans is None:
+                spans = _default.SPANS
+        return events, tuple(counters), tuple(dists), tuple(spans)
 
 
 class LintContext:

@@ -1,10 +1,11 @@
-"""Schema rules (S001–S005): the observability vocabulary is closed.
+"""Schema rules (S001–S006): the observability vocabulary is closed.
 
 Emission sites (``tracer.emit(cycle, tid, kind, ...)``,
-``registry.inc/set/dist(name, ...)``) are checked against the
+``registry.inc/set/dist(name, ...)``, and span starts
+``spans.begin/span/record(name, ...)``) are checked against the
 registry in ``repro.obs.schema`` in both directions: a name the
-registry doesn't know fails lint (S001/S002), and a registry entry no
-site can produce is stale (S003).  Dynamically built names
+registry doesn't know fails lint (S001/S002/S006), and a registry
+entry no site can produce is stale (S003).  Dynamically built names
 (f-strings, ``"prefix." + var``) are extracted as ``*`` patterns and
 must match a registry pattern verbatim.
 """
@@ -22,6 +23,11 @@ from .core import Finding, LintContext, Rule, SourceFile
 #: name argument cannot be statically resolved.
 _TRACER_NAMES = frozenset({"tr", "tracer", "trace"})
 _METRICS_NAMES = frozenset({"m", "metrics", "registry"})
+_SPAN_NAMES = frozenset({"sp", "spans", "span_tracer", "tracer"})
+
+#: Method names that open/synthesize a span; the first positional
+#: argument is the span name.
+_SPAN_METHODS = frozenset({"begin", "span", "record"})
 
 
 def name_patterns(node: ast.AST) -> Optional[List[str]]:
@@ -82,13 +88,15 @@ class SchemaRule(Rule):
         "S003": "schema registry entry no emission site produces",
         "S004": "tracer/metrics name that cannot be statically resolved",
         "S005": "trace event field not declared in the schema registry",
+        "S006": "span name missing from the schema registry",
     }
 
     def check_tree(self, ctx: LintContext) -> Iterable[Finding]:
-        events, counters, dists = ctx.cfg.resolved_schema()
+        events, counters, dists, spans = ctx.cfg.resolved_schema()
         seen_kinds: List[str] = []
         seen_counters: List[str] = []
         seen_dists: List[str] = []
+        seen_spans: List[str] = []
         findings: List[Finding] = []
 
         for src in ctx.files:
@@ -98,8 +106,8 @@ class SchemaRule(Rule):
             if src.rel == ctx.cfg.schema_rel:
                 continue
             findings.extend(self._scan_file(
-                src, events, counters, dists,
-                seen_kinds, seen_counters, seen_dists))
+                src, events, counters, dists, spans,
+                seen_kinds, seen_counters, seen_dists, seen_spans))
 
         # S003: stale registry entries — only meaningful when the tree
         # actually carries the registry module.
@@ -117,6 +125,10 @@ class SchemaRule(Rule):
                 if not any(_matches(s, entry) for s in seen_dists):
                     findings.append(self._stale(
                         schema_src, f"distribution '{entry}'"))
+            for entry in spans:
+                if not any(_matches(s, entry) for s in seen_spans):
+                    findings.append(self._stale(
+                        schema_src, f"span '{entry}'"))
         return findings
 
     def _stale(self, schema_src: SourceFile, what: str) -> Finding:
@@ -132,8 +144,8 @@ class SchemaRule(Rule):
             "delete the stale entry or restore the instrumentation")
 
     def _scan_file(self, src: SourceFile, events, counters, dists,
-                   seen_kinds, seen_counters, seen_dists
-                   ) -> Iterable[Finding]:
+                   spans, seen_kinds, seen_counters, seen_dists,
+                   seen_spans) -> Iterable[Finding]:
         for node in ast.walk(src.tree):
             if not (isinstance(node, ast.Call)
                     and isinstance(node.func, ast.Attribute)):
@@ -175,6 +187,28 @@ class SchemaRule(Rule):
             elif attr == "dist" and node.args:
                 yield from self._check_metric(
                     node, src, dists, seen_dists, "distribution")
+            elif (attr in _SPAN_METHODS and node.args
+                  and _receiver_looks_like(node.func, _SPAN_NAMES)):
+                # ``begin``/``span``/``record`` are common method
+                # names, so span sites are recognised by receiver;
+                # name your span tracer ``spans``/``sp``/``tracer``.
+                pats = name_patterns(node.args[0])
+                if pats is None:
+                    yield src.finding(
+                        "S004", node,
+                        "span name is not a static string",
+                        "start spans with a literal name so traces "
+                        "keep a closed vocabulary")
+                    continue
+                for pat in pats:
+                    seen_spans.append(pat)
+                    if not any(_matches(pat, entry) for entry in spans):
+                        yield src.finding(
+                            "S006", node,
+                            f"span name '{pat}' is not in the schema "
+                            f"registry",
+                            "add it to repro.obs.schema.SPANS and "
+                            "docs/observability.md")
 
     def _check_metric(self, node: ast.Call, src: SourceFile,
                       registry: Sequence[str], seen: List[str],

@@ -93,6 +93,21 @@ COUNTERS: Tuple[str, ...] = (
     "profile.total_seconds",
 )
 
+#: Span names (``spans.begin``/``span``/``record`` sites): the phase
+#: vocabulary of the run ledger's span trees.  ``sweep``/``run`` root
+#: a trace, ``point`` is one experiment point (possibly synthesized
+#: parent-side for cached/crashed points), and the rest are the
+#: execution phases hanging beneath it.
+SPANS: Tuple[str, ...] = (
+    "sweep",                 # one engine.run invocation (root)
+    "run",                   # one `repro run` invocation (root)
+    "point",                 # one experiment point
+    "simulate",              # full-detail machine.run
+    "fast_forward",          # functional warmup to a checkpoint
+    "warmup",                # detailed (unmeasured) warmup interval
+    "detailed",              # measured detailed interval
+)
+
 #: Distribution (histogram) names (``registry.dist``).
 DISTS: Tuple[str, ...] = (
     "rename.stall_run_len",

@@ -32,6 +32,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 from repro.asm.layout import WINDOW_STRIDE_BYTES, thread_window_base
 from repro.asm.program import Program
 from repro.config import MachineConfig
+from repro.hooks import current_spans
 from repro.functional.interp import FunctionalSim, FunctionalStats
 from repro.models.factory import build_machine
 from repro.pipeline.core import _ICACHE_BASE, Pipeline
@@ -490,19 +491,41 @@ def run_sampled(model: str, cfg: MachineConfig, program: Program,
     samples: List[SimStats] = []
     detailed_cycles = 0
     detailed_instructions = 0
+    # Phase spans land under whatever span tracer the engine/CLI
+    # activated (the inert NULL_SPANS otherwise); all clock reads stay
+    # inside the tracer, keeping this module deterministic (D002).
+    sp = current_spans()
     for idx in reps:
         start = boundaries[idx]
         ckpt_at = max(0, start - scfg.warmup_insns)
-        fast_forward(ff_sim, ckpt_at - ff_sim.stats.instructions)
-        ckpt = take_checkpoint(ff_sim)
+        with sp.span("fast_forward", interval=idx):
+            fast_forward(ff_sim, ckpt_at - ff_sim.stats.instructions)
+            ckpt = take_checkpoint(ff_sim)
         machine = build_machine(model, cfg, [program])
         seed_machine(machine, program, ckpt, scfg)
         warm_n = start - ckpt_at
         before = None
         if warm_n:
-            before = machine.run(commit_limit=warm_n).to_dict()
-        stats = machine.run(
-            commit_limit=warm_n + profile.counts[idx])
+            with sp.span("warmup", interval=idx):
+                before = machine.run(commit_limit=warm_n).to_dict()
+        with sp.span("detailed", interval=idx) as dsp:
+            prof = None
+            if sp.enabled:
+                # Stage attribution rides on the detailed span; the
+                # profile is observational only, so SimStats stay
+                # bit-identical (tests/test_profile.py).
+                from repro.obs.profile import StageProfile
+                prof = StageProfile(machine)
+                prof.attach()
+            try:
+                stats = machine.run(
+                    commit_limit=warm_n + profile.counts[idx])
+            finally:
+                if prof is not None:
+                    prof.detach()
+                    dsp.counters.update(
+                        {f"profile.{lbl}.seconds": round(secs, 6)
+                         for lbl, secs in prof.seconds.items()})
         detailed_cycles += stats.cycles
         detailed_instructions += stats.committed
         if before is not None:

@@ -183,6 +183,44 @@ class TestSchema:
                        {"instr.py": fixture("schema_good.py")})
         assert lint_tree(cfg) == []
 
+    def test_unregistered_span_name_s006(self, tmp_path):
+        cfg = make_pkg(
+            tmp_path,
+            {"instr.py": "def f(sp):\n"
+                         "    with sp.span('teleport'):\n"
+                         "        pass\n"
+                         "    sp.begin('point')\n"},
+            events={}, counters=(), dists=(), spans=("point",))
+        findings = lint_tree(cfg)
+        assert rule_ids(findings) == {"S006"}
+        assert "teleport" in findings[0].message
+
+    def test_span_sites_recognised_by_receiver(self, tmp_path):
+        # ``begin``/``record`` are common method names: only tracer-ish
+        # receivers are policed, and dynamic names on them are S004.
+        cfg = make_pkg(
+            tmp_path,
+            {"instr.py": "def f(conn, spans, which):\n"
+                         "    conn.begin('transaction')\n"
+                         "    spans.record('point', 0.0, 1.0)\n"
+                         "    spans.begin(which)\n"},
+            events={}, counters=(), dists=(), spans=("point",))
+        findings = lint_tree(cfg)
+        assert rule_ids(findings) == {"S004"}
+        assert "span name" in findings[0].message
+
+    def test_stale_span_entry_s003(self, tmp_path):
+        cfg = make_pkg(
+            tmp_path,
+            {"obs/schema.py": "SPANS = ('point', 'ghost')\n",
+             "instr.py": "def f(sp):\n"
+                         "    sp.begin('point')\n"},
+            events={}, counters=(), dists=(),
+            spans=("point", "ghost"))
+        findings = [f for f in lint_tree(cfg) if f.rule == "S003"]
+        assert len(findings) == 1
+        assert "span 'ghost'" in findings[0].message
+
     def test_stale_registry_entry(self, tmp_path):
         cfg = make_pkg(
             tmp_path,
@@ -190,7 +228,7 @@ class TestSchema:
              "instr.py": "def f(metrics):\n"
                          "    metrics.inc('pipeline.cycles')\n"},
             events={}, counters=("pipeline.cycles", "ghost.counter"),
-            dists=())
+            dists=(), spans=())
         findings = [f for f in lint_tree(cfg) if f.rule == "S003"]
         assert len(findings) == 1
         assert "ghost.counter" in findings[0].message
