@@ -66,6 +66,13 @@ class EngineError(RuntimeError):
     """Raised when a failed point's result is requested."""
 
 
+class ResumeConflictError(RuntimeError):
+    """Raised when ``--journal`` and ``--ledger`` disagree about a
+    completed point during resume (same key, both OK, different
+    payloads) — silently picking either would make the resumed sweep's
+    results depend on file order."""
+
+
 @dataclass
 class PointOutcome:
     """What happened to one point of a sweep.
@@ -168,6 +175,35 @@ def load_journal(path: Path) -> Dict[str, dict]:
     return records
 
 
+def merge_resume_records(journal: Dict[str, dict],
+                         ledger: Dict[str, dict]) -> Dict[str, dict]:
+    """Merge the two resume sources under one precedence rule.
+
+    The journal wins for any key both files carry.  But if both carry
+    a *completed* record (OK status, non-``None`` payload) for one key
+    and the payloads differ, resuming is ambiguous — the two files
+    describe different runs — and :class:`ResumeConflictError` is
+    raised naming the key, rather than silently preferring one.
+    """
+    merged = dict(ledger)
+    for key, jrec in journal.items():
+        lrec = merged.get(key)
+        if (lrec is not None
+                and jrec.get("status") in _OK_STATUSES
+                and lrec.get("status") in _OK_STATUSES
+                and jrec.get("payload") is not None
+                and lrec.get("payload") is not None
+                and jrec["payload"] != lrec["payload"]):
+            label = (jrec.get("point") or {}).get("kind", "?")
+            raise ResumeConflictError(
+                f"resume conflict for point {key[:12]}… (kind "
+                f"{label}): the journal and the ledger both hold a "
+                f"completed payload and they differ; re-run one file "
+                f"or drop --resume")
+        merged[key] = jrec
+    return merged
+
+
 def _rusage_snapshot() -> Optional[Dict[str, float]]:
     """Current-process resource usage, or ``None`` where the
     :mod:`resource` module is unavailable (non-Unix)."""
@@ -247,10 +283,15 @@ class _EngineBase:
         journal_path = Path(journal) if journal is not None else None
         prior: Dict[str, dict] = {}
         if resume:
-            if journal_path is not None:
-                prior = load_journal(journal_path)
-            elif ledger is not None:
-                prior = load_journal(ledger.path)
+            # Both sources are consulted; the journal takes precedence
+            # per key, and two completed-but-different payloads for
+            # one point raise rather than racing (see
+            # merge_resume_records).
+            jrecs = (load_journal(journal_path)
+                     if journal_path is not None else {})
+            lrecs = (load_journal(Path(ledger.path))
+                     if ledger is not None else {})
+            prior = merge_resume_records(jrecs, lrecs)
         jfh = journal_path.open("a") if journal_path is not None else None
         if metrics is not None:
             metrics.set("sweep.points.total", len(pts))

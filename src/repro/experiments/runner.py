@@ -2,9 +2,12 @@
 
 Every figure in the paper is a sweep over (machine model, physical
 register count, cache ports, workload); sweeps share many points, so
-results are cached on disk keyed by the run parameters *and a hash of
-the package source* — any code change invalidates stale results
-automatically.
+results are cached keyed by the run parameters *and a hash of the
+package source* — any code change invalidates stale results
+automatically.  Storage itself lives in the repository layer
+(:mod:`repro.experiments.store`): the historical per-key JSON file
+cache by default, or a sqlite3 store (with the file cache as
+read-through fallback) when ``REPRO_STORE`` is set.
 """
 
 from __future__ import annotations
@@ -12,7 +15,6 @@ from __future__ import annotations
 import hashlib
 import json
 import os
-import tempfile
 from dataclasses import asdict, dataclass, field
 from pathlib import Path
 from typing import Dict, List, Optional, Sequence, Tuple
@@ -25,6 +27,8 @@ from repro.models import build_machine, model_abi
 from repro.rename.base import UnrunnableConfigError
 from repro.workloads import build_benchmark
 from repro.workloads.generator import benchmark_program
+
+from .store import active_store
 
 _DEFAULT_CACHE_DIR = Path(__file__).resolve().parents[3] / ".repro_cache"
 
@@ -46,12 +50,14 @@ def cache_dir() -> Path:
 #: engine must not invalidate every cached simulation result.
 HASH_EXCLUDE: Tuple[str, ...] = (
     "obs",
-    "cli.py",
+    "cli",
     "lint",
+    "service",
     "experiments/report.py",
     "experiments/plan.py",
     "experiments/engine.py",
     "experiments/benchdiff.py",
+    "experiments/store.py",
 )
 
 _source_hash: Optional[str] = None
@@ -129,39 +135,22 @@ def _cache_key(**params) -> str:
 
 
 def _cache_load(key: str) -> Optional[dict]:
-    """Load one cache entry; anything unreadable — missing file,
-    truncated/corrupt JSON, a non-object payload — is a miss (the
-    caller recomputes and rewrites it)."""
-    path = cache_dir() / f"{key}.json"
-    try:
-        payload = json.loads(path.read_text())
-    except (OSError, json.JSONDecodeError):
-        return None
-    return payload if isinstance(payload, dict) else None
+    """Load one entry from the active result store; anything
+    unreadable — missing, truncated/corrupt, a non-object payload — is
+    a miss (the caller recomputes and rewrites it)."""
+    return active_store().load(key)
 
 
 def _cache_store(key: str, payload: dict) -> None:
-    """Atomically publish one cache entry.
+    """Atomically publish one entry through the active result store.
 
     Concurrent writers of the same key (parallel sweep workers, or two
-    sweep invocations sharing a cache) each write a unique temp file in
-    the cache directory and atomically ``os.replace`` it over the final
-    path, so readers only ever observe a complete entry — last writer
-    wins, and both writers produce the same payload anyway.
+    sweep invocations sharing a store) are safe in every backend —
+    atomic rename in the file cache, an atomic upsert in sqlite — so
+    readers only ever observe a complete entry; last writer wins, and
+    both writers produce the same payload anyway.
     """
-    d = cache_dir()
-    d.mkdir(parents=True, exist_ok=True)
-    fd, tmp = tempfile.mkstemp(dir=d, prefix=f"{key}.", suffix=".tmp")
-    try:
-        with os.fdopen(fd, "w") as fh:
-            fh.write(json.dumps(payload))
-        os.replace(tmp, d / f"{key}.json")
-    except OSError:  # pragma: no cover - cleanup best effort
-        try:
-            os.unlink(tmp)
-        except OSError:
-            pass
-        raise
+    active_store().store(key, payload, source_hash=source_hash())
 
 
 def result_from_dict(d: dict) -> RunResult:

@@ -1,0 +1,494 @@
+"""The repository layer: pluggable, content-addressed result stores.
+
+Every simulation result is addressed by the runner's content hash
+(:func:`repro.experiments.runner._cache_key` — the run parameters plus
+the semantics source hash), and historically lived as one JSON file
+per key under ``.repro_cache/``.  This module turns that ad-hoc cache
+into an explicit repository layer with two interchangeable backends:
+
+* :class:`FileStore` — the historical per-key JSON file cache,
+  bit-compatible with every cache directory written before this layer
+  existed (same paths, same atomic ``mkstemp`` + ``os.replace``
+  publish).
+* :class:`SqliteStore` — a single sqlite3 database holding the same
+  payloads in a ``results`` table, plus an **audit trail** (who stored
+  or submitted what, when, under which ``source_hash``) and a
+  ``claims`` table that lets concurrent schedulers agree on who runs a
+  missing point.  Opened with WAL journaling and a busy timeout so
+  many worker processes can hammer one store safely; writes are a
+  single atomic upsert.  A :class:`FileStore` can be attached as a
+  read-through *fallback*: a pre-existing JSON cache entry satisfies a
+  lookup (and is promoted into sqlite), so switching stores never
+  recomputes old results.
+
+Selection is environmental, like ``REPRO_CACHE_DIR``: when
+``REPRO_STORE`` names a sqlite file, :func:`active_store` returns a
+:class:`SqliteStore` fronting the file cache; otherwise the plain
+:class:`FileStore`.  Engine workers inherit both variables through
+``repro_env()``, so a sweep's parent and its forked workers always
+read and write the same repository.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import sqlite3
+import tempfile
+import threading
+import time
+from pathlib import Path
+from typing import Dict, List, Optional, Tuple
+
+__all__ = [
+    "ResultStore", "FileStore", "SqliteStore", "active_store",
+    "store_self_check",
+]
+
+
+class ResultStore:
+    """The repository interface every backend implements.
+
+    Keys are the runner's content-addressed cache keys; payloads are
+    the JSON-serializable dicts the engine journals and pipes around.
+    """
+
+    #: Human-readable backend name (CLI/status surfaces).
+    kind = "abstract"
+
+    def load(self, key: str) -> Optional[dict]:
+        """The payload stored under ``key``, or ``None`` on any kind
+        of miss (missing, corrupt, non-object)."""
+        raise NotImplementedError
+
+    def store(self, key: str, payload: dict,
+              source_hash: Optional[str] = None,
+              actor: Optional[str] = None) -> None:
+        """Atomically publish ``payload`` under ``key`` (last writer
+        wins; concurrent writers of one key produce identical payloads
+        by construction)."""
+        raise NotImplementedError
+
+    def keys(self) -> List[str]:
+        """Every key currently stored."""
+        raise NotImplementedError
+
+    def close(self) -> None:
+        """Release backend resources (idempotent)."""
+
+    def __enter__(self) -> "ResultStore":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+class FileStore(ResultStore):
+    """The historical one-JSON-file-per-key cache directory.
+
+    Readable and writable by every version of this package that ever
+    cached a result: ``<root>/<key>.json`` holding the payload.
+    """
+
+    kind = "file"
+
+    def __init__(self, root) -> None:
+        self.root = Path(root)
+
+    def load(self, key: str) -> Optional[dict]:
+        try:
+            payload = json.loads((self.root / f"{key}.json").read_text())
+        except (OSError, json.JSONDecodeError):
+            return None
+        return payload if isinstance(payload, dict) else None
+
+    def store(self, key: str, payload: dict,
+              source_hash: Optional[str] = None,
+              actor: Optional[str] = None) -> None:
+        """Unique temp file + atomic ``os.replace``, so readers only
+        ever observe complete entries."""
+        self.root.mkdir(parents=True, exist_ok=True)
+        fd, tmp = tempfile.mkstemp(dir=self.root, prefix=f"{key}.",
+                                   suffix=".tmp")
+        try:
+            with os.fdopen(fd, "w") as fh:
+                fh.write(json.dumps(payload))
+            os.replace(tmp, self.root / f"{key}.json")
+        except OSError:  # pragma: no cover - cleanup best effort
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+
+    def keys(self) -> List[str]:
+        try:
+            names = sorted(p.stem for p in self.root.glob("*.json"))
+        except OSError:  # pragma: no cover - unreadable dir
+            return []
+        return names
+
+
+#: Schema version stamped into the sqlite ``meta`` table.
+STORE_SCHEMA = 1
+
+_SCHEMA_SQL = """
+CREATE TABLE IF NOT EXISTS meta (
+    k TEXT PRIMARY KEY, v TEXT NOT NULL);
+CREATE TABLE IF NOT EXISTS results (
+    key TEXT PRIMARY KEY,
+    payload TEXT NOT NULL,
+    source_hash TEXT,
+    actor TEXT,
+    created REAL NOT NULL,
+    updated REAL NOT NULL);
+CREATE TABLE IF NOT EXISTS audit (
+    id INTEGER PRIMARY KEY AUTOINCREMENT,
+    t REAL NOT NULL,
+    actor TEXT,
+    action TEXT NOT NULL,
+    key TEXT,
+    source_hash TEXT,
+    detail TEXT);
+CREATE TABLE IF NOT EXISTS claims (
+    key TEXT PRIMARY KEY,
+    owner TEXT NOT NULL,
+    pid INTEGER,
+    t REAL NOT NULL);
+"""
+
+
+class SqliteStore(ResultStore):
+    """A sqlite3-backed result repository with an audit trail.
+
+    One database file holds every result (``results``), an append-only
+    record of who did what (``audit``) and the cross-process point
+    claims (``claims``).  The connection is opened with
+
+    * ``journal_mode=WAL`` — readers never block writers and a crash
+      mid-write cannot corrupt committed data;
+    * ``busy_timeout`` — concurrent writers queue instead of failing;
+    * ``synchronous=NORMAL`` — durable-enough for a derived cache
+      (every payload is recomputable) at much lower fsync cost.
+
+    ``fallback`` (typically the :class:`FileStore` over the historical
+    cache directory) is consulted on a miss; hits are *promoted* into
+    sqlite with an ``audit`` row of action ``migrate``, so old caches
+    drain into the store as they are touched — and
+    :meth:`migrate_from` does the same eagerly for a whole store.
+    """
+
+    kind = "sqlite"
+
+    def __init__(self, path, fallback: Optional[ResultStore] = None,
+                 actor: Optional[str] = None,
+                 busy_timeout_ms: int = 10_000,
+                 claim_stale_s: float = 3600.0) -> None:
+        self.path = Path(path)
+        self.fallback = fallback
+        self.actor = actor or f"pid-{os.getpid()}"
+        self.claim_stale_s = claim_stale_s
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        # One connection shared across the server's handler threads;
+        # sqlite3 objects are not thread-safe, so every use holds the
+        # lock (the transactions are all short).
+        self._lock = threading.RLock()
+        self._conn: Optional[sqlite3.Connection] = sqlite3.connect(
+            str(self.path), timeout=busy_timeout_ms / 1000.0,
+            check_same_thread=False)
+        with self._lock:
+            cur = self._conn
+            cur.execute("PRAGMA journal_mode=WAL")
+            cur.execute(f"PRAGMA busy_timeout={int(busy_timeout_ms)}")
+            cur.execute("PRAGMA synchronous=NORMAL")
+            cur.executescript(_SCHEMA_SQL)
+            cur.execute(
+                "INSERT OR IGNORE INTO meta(k, v) VALUES('schema', ?)",
+                (str(STORE_SCHEMA),))
+            cur.commit()
+
+    # -- core interface ----------------------------------------------------
+
+    def load(self, key: str) -> Optional[dict]:
+        with self._lock:
+            row = self._conn.execute(
+                "SELECT payload FROM results WHERE key = ?",
+                (key,)).fetchone()
+        if row is not None:
+            try:
+                payload = json.loads(row[0])
+            except json.JSONDecodeError:  # pragma: no cover - corrupt row
+                return None
+            return payload if isinstance(payload, dict) else None
+        if self.fallback is not None:
+            payload = self.fallback.load(key)
+            if payload is not None:
+                self._upsert(key, payload, source_hash=None,
+                             actor=self.actor, action="migrate")
+                return payload
+        return None
+
+    def store(self, key: str, payload: dict,
+              source_hash: Optional[str] = None,
+              actor: Optional[str] = None) -> None:
+        self._upsert(key, payload, source_hash=source_hash,
+                     actor=actor or self.actor, action="store")
+
+    def _upsert(self, key: str, payload: dict,
+                source_hash: Optional[str], actor: str,
+                action: str) -> None:
+        blob = json.dumps(payload)
+        now = time.time()
+        with self._lock:
+            self._conn.execute(
+                "INSERT INTO results(key, payload, source_hash, actor,"
+                " created, updated) VALUES(?, ?, ?, ?, ?, ?)"
+                " ON CONFLICT(key) DO UPDATE SET"
+                " payload = excluded.payload,"
+                " source_hash = excluded.source_hash,"
+                " actor = excluded.actor, updated = excluded.updated",
+                (key, blob, source_hash, actor, now, now))
+            self._conn.execute(
+                "INSERT INTO audit(t, actor, action, key, source_hash,"
+                " detail) VALUES(?, ?, ?, ?, ?, ?)",
+                (now, actor, action, key, source_hash, None))
+            self._conn.commit()
+
+    def keys(self) -> List[str]:
+        with self._lock:
+            rows = self._conn.execute(
+                "SELECT key FROM results ORDER BY key").fetchall()
+        return [r[0] for r in rows]
+
+    def close(self) -> None:
+        with self._lock:
+            if self._conn is not None:
+                self._conn.close()
+                self._conn = None
+
+    # -- audit trail -------------------------------------------------------
+
+    def audit(self, action: str, key: Optional[str] = None,
+              actor: Optional[str] = None,
+              source_hash: Optional[str] = None,
+              detail: Optional[dict] = None) -> None:
+        """Append one audit record (used by the service for submit /
+        cancel / fetch events; ``store`` writes its own rows)."""
+        with self._lock:
+            self._conn.execute(
+                "INSERT INTO audit(t, actor, action, key, source_hash,"
+                " detail) VALUES(?, ?, ?, ?, ?, ?)",
+                (time.time(), actor or self.actor, action, key,
+                 source_hash,
+                 json.dumps(detail) if detail is not None else None))
+            self._conn.commit()
+
+    def audit_rows(self, limit: int = 100,
+                   action: Optional[str] = None) -> List[Dict]:
+        """The newest ``limit`` audit records, newest first."""
+        sql = ("SELECT t, actor, action, key, source_hash, detail "
+               "FROM audit")
+        params: Tuple = ()
+        if action is not None:
+            sql += " WHERE action = ?"
+            params = (action,)
+        sql += " ORDER BY id DESC LIMIT ?"
+        with self._lock:
+            rows = self._conn.execute(sql, params + (int(limit),)) \
+                .fetchall()
+        out = []
+        for t, actor, act, key, srch, detail in rows:
+            rec = {"t": t, "actor": actor, "action": act, "key": key,
+                   "source_hash": srch}
+            if detail:
+                try:
+                    rec["detail"] = json.loads(detail)
+                except json.JSONDecodeError:  # pragma: no cover
+                    rec["detail"] = detail
+            out.append(rec)
+        return out
+
+    # -- claims ------------------------------------------------------------
+
+    def claim(self, key: str, owner: str) -> bool:
+        """Atomically claim ``key`` for ``owner``.
+
+        Exactly one concurrent claimant wins (``INSERT OR IGNORE`` on
+        the primary key); re-claiming a key you already own succeeds.
+        Claims older than ``claim_stale_s`` are presumed abandoned by
+        a crashed process and are swept before the attempt.
+        """
+        now = time.time()
+        with self._lock:
+            self._conn.execute(
+                "DELETE FROM claims WHERE t < ?",
+                (now - self.claim_stale_s,))
+            cur = self._conn.execute(
+                "INSERT OR IGNORE INTO claims(key, owner, pid, t)"
+                " VALUES(?, ?, ?, ?)", (key, owner, os.getpid(), now))
+            won = cur.rowcount == 1
+            if not won:
+                row = self._conn.execute(
+                    "SELECT owner FROM claims WHERE key = ?",
+                    (key,)).fetchone()
+                won = row is not None and row[0] == owner
+            self._conn.commit()
+        return won
+
+    def release(self, key: str, owner: Optional[str] = None) -> None:
+        """Drop a claim (optionally only if ``owner`` still holds it)."""
+        with self._lock:
+            if owner is None:
+                self._conn.execute(
+                    "DELETE FROM claims WHERE key = ?", (key,))
+            else:
+                self._conn.execute(
+                    "DELETE FROM claims WHERE key = ? AND owner = ?",
+                    (key, owner))
+            self._conn.commit()
+
+    # -- maintenance -------------------------------------------------------
+
+    def migrate_from(self, other: ResultStore,
+                     actor: Optional[str] = None) -> int:
+        """Copy every entry of ``other`` not already present; returns
+        the number of entries imported."""
+        imported = 0
+        have = set(self.keys())
+        for key in other.keys():
+            if key in have:
+                continue
+            payload = other.load(key)
+            if payload is None:
+                continue
+            self._upsert(key, payload, source_hash=None,
+                         actor=actor or self.actor, action="migrate")
+            imported += 1
+        return imported
+
+    def stats(self) -> Dict:
+        """Counts and identity for CLI/status surfaces."""
+        with self._lock:
+            results = self._conn.execute(
+                "SELECT COUNT(*) FROM results").fetchone()[0]
+            audit = self._conn.execute(
+                "SELECT COUNT(*) FROM audit").fetchone()[0]
+            claims = self._conn.execute(
+                "SELECT COUNT(*) FROM claims").fetchone()[0]
+        return {"backend": self.kind, "path": str(self.path),
+                "results": results, "audit": audit, "claims": claims,
+                "schema": STORE_SCHEMA}
+
+    def integrity_ok(self) -> bool:
+        """sqlite's own ``PRAGMA integrity_check`` verdict."""
+        with self._lock:
+            row = self._conn.execute(
+                "PRAGMA integrity_check").fetchone()
+        return bool(row) and row[0] == "ok"
+
+
+# ----------------------------------------------------------------------
+# process-wide active store
+# ----------------------------------------------------------------------
+
+#: The one live store per process: ``{"pid", "sig", "store"}``.
+_active = {"pid": None, "sig": None, "store": None}
+#: Stores abandoned after a fork — referenced so the child's GC never
+#: closes the parent's sqlite connection (closing a POSIX-locked fd in
+#: the child could release the parent's locks).
+_abandoned: List[ResultStore] = []
+
+
+def _store_sig() -> Tuple[str, str]:
+    from repro.experiments.runner import cache_dir
+    return (os.environ.get("REPRO_STORE", ""), str(cache_dir()))
+
+
+def active_store() -> ResultStore:
+    """The repository this process reads and writes results through.
+
+    ``REPRO_STORE`` (a sqlite file path) selects the sqlite backend
+    with the file cache as read-through fallback; otherwise the plain
+    file cache.  Re-evaluated on every call — like ``cache_dir()`` —
+    so forked/spawned engine workers and tests that re-point the
+    environment always agree with it; the built store is reused until
+    the pid or the environment changes.
+    """
+    from repro.experiments.runner import cache_dir
+    pid = os.getpid()
+    sig = _store_sig()
+    if (_active["store"] is not None and _active["pid"] == pid
+            and _active["sig"] == sig):
+        return _active["store"]
+    if _active["store"] is not None:
+        if _active["pid"] == pid:
+            _active["store"].close()
+        else:
+            _abandoned.append(_active["store"])
+    file_store = FileStore(cache_dir())
+    if sig[0]:
+        store: ResultStore = SqliteStore(sig[0], fallback=file_store)
+    else:
+        store = file_store
+    _active.update(pid=pid, sig=sig, store=store)
+    return store
+
+
+# ----------------------------------------------------------------------
+# self-check (tools/ci_checks.py)
+# ----------------------------------------------------------------------
+def store_self_check(verbose: bool = True) -> int:
+    """An end-to-end integrity exercise of the repository layer.
+
+    Builds a throwaway file cache, migrates it into a fresh sqlite
+    store, and verifies: migration round-trip, upsert atomicity (last
+    writer wins, single row), fallback promotion, claim exclusivity,
+    and sqlite's own integrity check.  Returns 0 on success — run by
+    ``tools/ci_checks.py store``.
+    """
+    failures: List[str] = []
+
+    def check(name: str, ok: bool) -> None:
+        if verbose:
+            print(f"  store: {name}: {'ok' if ok else 'FAIL'}")
+        if not ok:
+            failures.append(name)
+
+    with tempfile.TemporaryDirectory(prefix="repro-store-") as tmp:
+        root = Path(tmp)
+        files = FileStore(root / "cache")
+        for i in range(5):
+            files.store(f"k{i}", {"i": i, "payload": [i, i * i]})
+        db = SqliteStore(root / "store.sqlite", fallback=files)
+        try:
+            n = db.migrate_from(files)
+            check("migration imports every entry", n == 5)
+            check("round-trip equality", all(
+                db.load(f"k{i}") == files.load(f"k{i}")
+                for i in range(5)))
+            db.store("k0", {"i": 0, "payload": "updated"},
+                     source_hash="deadbeef")
+            check("upsert keeps one row per key",
+                  db.keys() == sorted(f"k{i}" for i in range(5)))
+            check("upsert last-writer-wins",
+                  (db.load("k0") or {}).get("payload") == "updated")
+            files.store("fresh", {"from": "fallback"})
+            check("fallback read-through + promotion",
+                  db.load("fresh") == {"from": "fallback"}
+                  and "fresh" in db.keys())
+            check("claim exclusivity",
+                  db.claim("point", "a") and not db.claim("point", "b")
+                  and db.claim("point", "a"))
+            db.release("point", "a")
+            check("claim release", db.claim("point", "b"))
+            check("audit trail recorded",
+                  len(db.audit_rows(limit=100)) >= 7)
+            check("sqlite integrity", db.integrity_ok())
+        finally:
+            db.close()
+    if failures:
+        print(f"store self-check: FAILED: {', '.join(failures)}")
+        return 1
+    if verbose:
+        print("store self-check: OK")
+    return 0

@@ -28,7 +28,9 @@ from repro.experiments.runner import HASH_EXCLUDE
 
 #: Import ranks: a module may import subpackages of rank <= its own.
 #: Simulation semantics sit at the bottom; presentation at the top.
-SIM, OBS, EXPERIMENTS, LINT, UI = 0, 10, 20, 30, 40
+#: SERVICE sits between the experiment engine it schedules onto and
+#: the CLI that is one of its clients.
+SIM, OBS, EXPERIMENTS, SERVICE, LINT, UI = 0, 10, 20, 25, 30, 40
 
 #: Default layer map for the ``repro`` package (subpackage or
 #: top-level module stem -> rank).  ``""`` is the package __init__.
@@ -39,6 +41,7 @@ DEFAULT_LAYERS: Mapping[str, int] = {
     "models": SIM, "workloads": SIM, "analysis": SIM, "sampling": SIM,
     "obs": OBS,
     "experiments": EXPERIMENTS,
+    "service": SERVICE,
     "lint": LINT,
     "cli": UI, "__main__": UI,
 }
@@ -164,8 +167,9 @@ class LintConfig:
     reset_methods: Tuple[str, ...] = ("reinit",)
     #: Modules whose dataclass fields the coverage rule audits.
     config_modules: Tuple[str, ...] = ("config.py",)
-    #: Modules defining the CLI (``add_argument`` sites).
-    cli_modules: Tuple[str, ...] = ("cli.py",)
+    #: Modules defining the CLI (``add_argument`` sites); entries
+    #: ending in ``/`` match every module under that directory.
+    cli_modules: Tuple[str, ...] = ("cli/", "cli.py")
     #: Package-relative path of the schema registry module.
     schema_rel: str = "obs/schema.py"
     #: Package-relative prefixes the schema scan skips.

@@ -74,10 +74,12 @@ class CoverageRule(Rule):
         corpus = self._docs_corpus(ctx)
         if corpus is None:
             return
-        for rel in ctx.cfg.cli_modules:
-            src = ctx.by_rel.get(rel)
-            if src is None:
-                continue
+        matchers = ctx.cfg.cli_modules
+        sources = [f for f in ctx.files
+                   if any(f.rel == m
+                          or (m.endswith("/") and f.rel.startswith(m))
+                          for m in matchers)]
+        for src in sources:
             for node in ast.walk(src.tree):
                 if not (isinstance(node, ast.Call)
                         and isinstance(node.func, ast.Attribute)

@@ -91,6 +91,12 @@ COUNTERS: Tuple[str, ...] = (
     "profile.*.seconds",
     "profile.*.calls",
     "profile.total_seconds",
+    # simulation service (repro.service.scheduler)
+    "service.jobs.submitted",
+    "service.jobs.cancelled",
+    "service.jobs.*",        # terminal status: done/failed
+    "service.points.started",
+    "service.points.*",      # terminal status: done/cached/failed/...
 )
 
 #: Span names (``spans.begin``/``span``/``record`` sites): the phase
@@ -101,6 +107,7 @@ COUNTERS: Tuple[str, ...] = (
 SPANS: Tuple[str, ...] = (
     "sweep",                 # one engine.run invocation (root)
     "run",                   # one `repro run` invocation (root)
+    "job",                   # one service job (root; service layer)
     "point",                 # one experiment point
     "simulate",              # full-detail machine.run
     "fast_forward",          # functional warmup to a checkpoint

@@ -1,0 +1,124 @@
+"""The client layer: a thin ``urllib`` wrapper over the service API.
+
+``repro submit`` / ``repro jobs`` / ``repro fetch`` are built on
+:class:`ServiceClient`; tests drive the live server through it too, so
+the CLI and the test-suite exercise the same wire format.  Transport
+and HTTP-status failures both surface as :class:`ServiceError` with
+the server's own message where one was sent.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, Iterator, List, Optional
+from urllib import error as urlerror
+from urllib import request as urlrequest
+
+__all__ = ["ServiceClient", "ServiceError"]
+
+
+class ServiceError(RuntimeError):
+    """A request the service refused (or never answered)."""
+
+    def __init__(self, message: str, status: Optional[int] = None):
+        super().__init__(message)
+        self.status = status
+
+
+class ServiceClient:
+    """JSON client for one ``repro serve`` endpoint."""
+
+    def __init__(self, url: str, timeout: float = 10.0) -> None:
+        self.url = url.rstrip("/")
+        self.timeout = timeout
+
+    # -- transport ---------------------------------------------------------
+
+    def _request(self, path: str, payload: Optional[dict] = None,
+                 method: Optional[str] = None) -> dict:
+        req = urlrequest.Request(
+            self.url + path,
+            data=(json.dumps(payload).encode()
+                  if payload is not None else None),
+            headers={"Content-Type": "application/json"},
+            method=method or ("POST" if payload is not None else "GET"))
+        try:
+            with urlrequest.urlopen(req, timeout=self.timeout) as resp:
+                return json.loads(resp.read() or b"{}")
+        except urlerror.HTTPError as exc:
+            try:
+                detail = json.loads(exc.read() or b"{}").get("error")
+            except ValueError:
+                detail = None
+            raise ServiceError(
+                detail or f"{exc.code} {exc.reason}",
+                status=exc.code) from None
+        except urlerror.URLError as exc:
+            raise ServiceError(
+                f"cannot reach {self.url}: {exc.reason}") from None
+
+    # -- API ---------------------------------------------------------------
+
+    def health(self) -> dict:
+        return self._request("/health")
+
+    def submit(self, points: List[dict], tenant: str = "anon",
+               priority: int = 0, label: str = "") -> str:
+        """Submit point dicts (``Point.to_dict`` form); returns the
+        job id."""
+        out = self._request("/v1/jobs", payload={
+            "points": points, "tenant": tenant,
+            "priority": priority, "label": label})
+        return out["id"]
+
+    def jobs(self) -> List[dict]:
+        return self._request("/v1/jobs")["jobs"]
+
+    def job(self, job_id: str) -> dict:
+        return self._request(f"/v1/jobs/{job_id}")
+
+    def cancel(self, job_id: str) -> bool:
+        return bool(self._request(f"/v1/jobs/{job_id}/cancel",
+                                  payload={})["cancelled"])
+
+    def results(self, job_id: str) -> List[dict]:
+        return self._request(f"/v1/jobs/{job_id}/results")["records"]
+
+    def metrics(self) -> Dict[str, float]:
+        return self._request("/v1/metrics")["counters"]
+
+    def store(self) -> dict:
+        return self._request("/v1/store")
+
+    def stream(self, job_id: str) -> Iterator[dict]:
+        """Yield snapshot dicts from the chunked JSONL stream until
+        the job reaches a terminal status."""
+        req = urlrequest.Request(self.url + f"/v1/jobs/{job_id}/stream")
+        try:
+            with urlrequest.urlopen(req, timeout=self.timeout) as resp:
+                for line in resp:
+                    line = line.strip()
+                    if line:
+                        yield json.loads(line)
+        except urlerror.HTTPError as exc:
+            raise ServiceError(f"{exc.code} {exc.reason}",
+                               status=exc.code) from None
+        except urlerror.URLError as exc:
+            raise ServiceError(
+                f"cannot reach {self.url}: {exc.reason}") from None
+
+    def wait(self, job_id: str, poll: float = 0.2,
+             timeout: Optional[float] = None) -> dict:
+        """Poll until the job is terminal; returns the final snapshot."""
+        import time
+        t0 = time.monotonic()
+        while True:
+            snap = self.job(job_id)
+            if snap["status"] in ("done", "failed", "cancelled"):
+                return snap
+            if (timeout is not None
+                    and time.monotonic() - t0 > timeout):
+                raise ServiceError(
+                    f"job {job_id} still {snap['status']} after "
+                    f"{timeout:g}s")
+            time.sleep(poll)

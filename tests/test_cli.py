@@ -113,6 +113,29 @@ class TestSweepCommand:
         with pytest.raises(SystemExit):
             main(["sweep", "rw", "--models", "nonexistent"])
 
+    def test_sweep_resume_conflict_exits_2(self, capsys, tmp_path,
+                                           monkeypatch):
+        import json
+
+        from repro.experiments.plan import Point
+
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "cache"))
+        pt = Point.run("baseline", ("gzip_graphic",), 256, scale=0.05)
+        journal = tmp_path / "sweep.jsonl"
+        journal.write_text(json.dumps(
+            {"key": pt.cache_key(), "status": "done",
+             "point": pt.to_dict(), "payload": {"cycles": 1},
+             "error": "", "elapsed": 0.1}) + "\n")
+        ledger = tmp_path / "ledger.jsonl"
+        ledger.write_text(json.dumps(
+            {"rec": "point", "key": pt.cache_key(), "status": "done",
+             "point": pt.to_dict(), "payload": {"cycles": 2},
+             "error": "", "elapsed": 0.1}) + "\n")
+        rc = main(self.ARGS + ["--resume",
+                               "--journal", str(journal),
+                               "--ledger", str(ledger)])
+        assert rc == 2
+
     def test_sweep_failure_sets_exit_code(self, capsys, tmp_path,
                                           monkeypatch):
         monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "cache"))

@@ -1,0 +1,284 @@
+"""End-to-end tests for the service layers: the job scheduler
+(priorities, per-tenant quotas, in-flight dedupe, cross-process
+claims, cancellation), the HTTP JSON API and its client, per-job run
+ledgers rendered by ``repro top`` / ``repro report``, and bit-exact
+parity between local and service execution."""
+
+import json
+import time
+
+import pytest
+
+from repro.experiments.plan import Point
+from repro.experiments.store import SqliteStore
+from repro.service import Scheduler, ServiceClient, ServiceError
+from repro.service.server import ServiceServer
+
+SCALE = 0.05
+BENCH = "gzip_graphic"
+
+
+@pytest.fixture()
+def cache(tmp_path, monkeypatch):
+    """An isolated cache and low workload scale for one test."""
+    d = tmp_path / "cache"
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(d))
+    monkeypatch.setenv("REPRO_SCALE", str(SCALE))
+    monkeypatch.delenv("REPRO_STORE", raising=False)
+    return d
+
+
+def wait_job(sched, job_id, timeout=180):
+    """Poll until the job reaches a terminal status."""
+    t0 = time.monotonic()
+    while time.monotonic() - t0 < timeout:
+        snap = sched.job(job_id)
+        if snap["status"] in ("done", "failed", "cancelled"):
+            return snap
+        time.sleep(0.05)
+    raise AssertionError(f"job {job_id} never finished: "
+                         f"{sched.job(job_id)}")
+
+
+class TestScheduler:
+    def test_job_runs_to_done_then_hits_cache(self, cache):
+        with Scheduler(workers=2) as sched:
+            jid = sched.submit([Point.ratio(BENCH)], tenant="alice")
+            snap = wait_job(sched, jid)
+            assert snap["status"] == "done"
+            assert snap["counts"] == {"done": 1}
+            (rec,) = sched.results(jid)
+            assert rec["status"] == "done"
+            assert isinstance(rec["payload"]["ratio"], float)
+
+            # Same point again: resolved from the result cache inside
+            # submit, without touching the pool.
+            jid2 = sched.submit([Point.ratio(BENCH)], tenant="bob")
+            snap2 = sched.job(jid2)
+            assert snap2["status"] == "done"
+            assert snap2["counts"] == {"cached": 1}
+            counters = sched.metrics.counters
+            assert counters["service.points.started"] == 1
+            assert counters["service.points.cached"] == 1
+            assert counters["service.jobs.submitted"] == 2
+            assert counters["service.jobs.done"] == 2
+
+    def test_empty_job_rejected(self, cache):
+        sched = Scheduler(workers=1)
+        with pytest.raises(ValueError):
+            sched.submit([])
+
+    def test_priority_orders_slot_assignment(self, cache):
+        # One slot, three competing jobs: the highest-priority job
+        # gets the worker.  The scheduler thread is never started, so
+        # a single _schedule pass is observable and deterministic.
+        sched = Scheduler(workers=1)
+        low = sched.submit([Point.probe("low")], priority=0)
+        high = sched.submit([Point.probe("high")], priority=5)
+        mid = sched.submit([Point.probe("mid")], priority=3)
+        sched._schedule()
+        try:
+            statuses = {jid: sched.results(jid)[0]["status"]
+                        for jid in (low, high, mid)}
+            assert statuses[high] == "running"
+            assert statuses[low] == "queued"
+            assert statuses[mid] == "queued"
+        finally:
+            sched.stop()
+
+    def test_tenant_quota_caps_slots(self, cache):
+        # Two slots, but alice is capped at one: her second point
+        # waits even though a worker is free — which bob then takes.
+        sched = Scheduler(workers=2, quotas={"alice": 1})
+        alice = sched.submit([Point.probe("a1"), Point.probe("a2")],
+                             tenant="alice")
+        sched._schedule()
+        try:
+            counts = sched.job(alice)["counts"]
+            assert counts == {"running": 1, "queued": 1}
+            bob = sched.submit([Point.probe("b1")], tenant="bob")
+            sched._schedule()
+            assert sched.job(bob)["counts"] == {"running": 1}
+            assert len(sched._live) == 2
+        finally:
+            sched.stop()
+
+    def test_inflight_dedupe_shares_one_execution(self, cache):
+        pt = Point.ratio(BENCH)
+        sched = Scheduler(workers=2)
+        a = sched.submit([pt], tenant="alice")
+        b = sched.submit([pt], tenant="bob")
+        with sched:
+            assert wait_job(sched, a)["status"] == "done"
+            assert wait_job(sched, b)["status"] == "done"
+        counts_a = sched.job(a)["counts"]
+        counts_b = sched.job(b)["counts"]
+        # One executed, the other shared the payload.
+        assert sorted((*counts_a, *counts_b)) == ["cached", "done"]
+        assert sched.metrics.counters["service.points.started"] == 1
+        (ra,) = sched.results(a)
+        (rb,) = sched.results(b)
+        assert ra["payload"] == rb["payload"] is not None
+
+    def test_foreign_claim_parks_point_until_result_lands(
+            self, cache, tmp_path, monkeypatch):
+        path = tmp_path / "store.sqlite"
+        monkeypatch.setenv("REPRO_STORE", str(path))
+        store = SqliteStore(path, actor="test")
+        pt = Point.ratio(BENCH)
+        store.claim(pt.cache_key(), owner="another-scheduler")
+        with Scheduler(workers=1, store=store) as sched:
+            jid = sched.submit([pt], tenant="alice")
+            # The point is claimed elsewhere: it must park as
+            # "waiting", not double-run.
+            t0 = time.monotonic()
+            while time.monotonic() - t0 < 30:
+                (rec,) = sched.results(jid)
+                if rec["status"] == "waiting":
+                    break
+                time.sleep(0.02)
+            assert rec["status"] == "waiting"
+            assert sched.metrics.counters.get(
+                "service.points.started", 0) == 0
+            # The claim owner publishes the result; the waiting point
+            # resolves from the store as a cache hit.
+            store.store(pt.cache_key(), {"ratio": 3.0})
+            snap = wait_job(sched, jid, timeout=30)
+            assert snap["status"] == "done"
+            (rec,) = sched.results(jid)
+            assert rec["status"] == "cached"
+            assert rec["payload"] == {"ratio": 3.0}
+        store.close()
+
+    def test_cancel_queued_job(self, cache, tmp_path):
+        store = SqliteStore(tmp_path / "store.sqlite", actor="test")
+        sched = Scheduler(workers=1, store=store)
+        jid = sched.submit([Point.ratio(BENCH), Point.ratio("twolf")],
+                           tenant="alice")
+        try:
+            assert sched.cancel(jid) is True
+            snap = sched.job(jid)
+            assert snap["status"] == "cancelled"
+            assert snap["counts"] == {"cancelled": 2}
+            assert sched.cancel(jid) is False  # already terminal
+            assert sched.metrics.counters[
+                "service.jobs.cancelled"] == 1
+            actions = [r["action"] for r in store.audit_rows()]
+            assert "cancel" in actions and "submit" in actions
+        finally:
+            sched.stop()
+            store.close()
+
+
+class TestServiceHTTP:
+    def test_end_to_end_over_http(self, cache, tmp_path, monkeypatch):
+        store_path = tmp_path / "store.sqlite"
+        monkeypatch.setenv("REPRO_STORE", str(store_path))
+        store = SqliteStore(store_path, actor="serve")
+        state = tmp_path / "state"
+        with Scheduler(workers=2, store=store,
+                       state_dir=state) as sched:
+            with ServiceServer(sched, port=0) as server:
+                client = ServiceClient(server.url, timeout=30)
+                health = client.health()
+                assert health["ok"] and health["workers"] == 2
+
+                pt = Point.ratio(BENCH)
+                jid = client.submit([pt.to_dict()], tenant="alice",
+                                    priority=3, label="e2e")
+                snap = client.wait(jid, timeout=180)
+                assert snap["status"] == "done"
+                assert snap["tenant"] == "alice"
+                assert snap["priority"] == 3
+
+                (rec,) = client.results(jid)
+                assert rec["status"] == "done"
+                assert rec["key"] == pt.cache_key()
+                assert isinstance(rec["payload"]["ratio"], float)
+
+                # Resubmission is a store hit end to end.
+                jid2 = client.submit([pt.to_dict()], tenant="bob")
+                snaps = list(client.stream(jid2))
+                assert snaps[-1]["status"] == "done"
+                assert snaps[-1]["counts"] == {"cached": 1}
+
+                assert {j["id"] for j in client.jobs()} == {jid, jid2}
+                counters = client.metrics()
+                assert counters["service.jobs.submitted"] == 2
+                assert counters["service.points.started"] == 1
+
+                st = client.store()
+                assert st["attached"]
+                assert st["stats"]["results"] >= 1
+                actions = {r["action"] for r in st["audit"]}
+                # Submissions audited by the service, the result row
+                # by the worker process that computed it.
+                assert {"submit", "store"} <= actions
+
+                with pytest.raises(ServiceError) as exc:
+                    client.job("nonexistent")
+                assert exc.value.status == 404
+                with pytest.raises(ServiceError) as exc:
+                    client.submit([])
+                assert exc.value.status == 400
+
+                ledger = state / "ledgers" / f"job-{jid}.jsonl"
+                assert ledger.exists()
+        store.close()
+
+        # The per-job ledger renders through the standard observability
+        # CLI, unchanged.
+        from repro.cli import main
+        assert main(["top", str(ledger), "--once"]) == 0
+        report = tmp_path / "job.html"
+        assert main(["report", str(ledger),
+                     "--out", str(report)]) == 0
+        assert "Span waterfall" in report.read_text()
+
+    def test_service_matches_local_execution(self, cache, tmp_path,
+                                             monkeypatch):
+        from repro.experiments.engine import SerialEngine
+
+        points = [Point.ratio(BENCH), Point.ratio("twolf")]
+        local = SerialEngine().run(points)
+        local_payloads = {pt.cache_key(): local[pt].payload
+                          for pt in points}
+
+        # Recompute through the service against a fresh cache: the
+        # payloads must be bit-identical, not merely cache-equal.
+        monkeypatch.setenv("REPRO_CACHE_DIR",
+                           str(tmp_path / "cache-service"))
+        with Scheduler(workers=2) as sched:
+            with ServiceServer(sched, port=0) as server:
+                client = ServiceClient(server.url, timeout=30)
+                jid = client.submit([p.to_dict() for p in points])
+                snap = client.wait(jid, timeout=180)
+                assert snap["status"] == "done"
+                assert snap["counts"] == {"done": 2}
+                records = client.results(jid)
+        assert {r["key"]: r["payload"] for r in records} == \
+            local_payloads
+        assert json.dumps(local_payloads, sort_keys=True) == \
+            json.dumps({r["key"]: r["payload"] for r in records},
+                       sort_keys=True)
+
+    def test_job_ledger_has_standard_envelopes(self, cache, tmp_path):
+        from repro.obs.runlog import ledger_points, ledger_summary, \
+            read_ledger
+
+        state = tmp_path / "state"
+        with Scheduler(workers=1, state_dir=state) as sched:
+            jid = sched.submit([Point.ratio(BENCH)], tenant="alice",
+                               label="ledgered")
+            wait_job(sched, jid)
+        ledger = state / "ledgers" / f"job-{jid}.jsonl"
+        recs = read_ledger(ledger)
+        kinds = [r["rec"] for r in recs]
+        assert kinds[0] == "run_start" and kinds[-1] == "run_end"
+        assert "point_start" in kinds and "point" in kinds
+        points = ledger_points(recs)
+        assert [r["status"] for r in points.values()] == ["done"]
+        summary = ledger_summary(recs)
+        assert summary["header"]["run_id"] == jid
+        assert summary["end"]["status"] == "ok"
+        assert summary["counts"] == {"done": 1}

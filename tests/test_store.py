@@ -1,0 +1,254 @@
+"""Tests for the repository layer (``repro.experiments.store``): the
+file and sqlite backends, read-through fallback promotion, eager
+migration, cross-process claims, the audit trail, concurrent writers
+hammering one database, and environmental store selection."""
+
+import json
+import multiprocessing
+
+import time
+
+import pytest
+
+from repro.experiments.plan import Point
+from repro.experiments.store import (
+    FileStore, SqliteStore, active_store, store_self_check,
+)
+
+SCALE = 0.05
+BENCH = "gzip_graphic"
+
+
+@pytest.fixture()
+def cache(tmp_path, monkeypatch):
+    """An isolated file-cache directory for one test."""
+    d = tmp_path / "cache"
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(d))
+    monkeypatch.delenv("REPRO_STORE", raising=False)
+    return d
+
+
+class TestFileStore:
+    def test_round_trip_and_keys(self, tmp_path):
+        fs = FileStore(tmp_path / "c")
+        assert fs.load("k") is None
+        fs.store("k", {"a": 1})
+        fs.store("j", {"b": 2})
+        assert fs.load("k") == {"a": 1}
+        assert fs.keys() == ["j", "k"]
+
+    def test_corrupt_and_non_object_entries_are_misses(self, tmp_path):
+        root = tmp_path / "c"
+        root.mkdir()
+        (root / "bad.json").write_text("{truncated")
+        (root / "list.json").write_text("[1, 2]")
+        fs = FileStore(root)
+        assert fs.load("bad") is None
+        assert fs.load("list") is None
+
+    def test_layout_matches_historical_cache(self, tmp_path):
+        # A file written by hand — the pre-store cache format — reads
+        # back verbatim, and a store() write is one json file per key.
+        root = tmp_path / "c"
+        root.mkdir()
+        (root / "old.json").write_text(json.dumps({"ratio": 1.5}))
+        fs = FileStore(root)
+        assert fs.load("old") == {"ratio": 1.5}
+        fs.store("new", {"x": 1})
+        assert json.loads((root / "new.json").read_text()) == {"x": 1}
+
+
+class TestSqliteStore:
+    def test_round_trip(self, tmp_path):
+        with SqliteStore(tmp_path / "s.sqlite") as db:
+            assert db.load("k") is None
+            db.store("k", {"a": [1, 2]}, source_hash="abc")
+            assert db.load("k") == {"a": [1, 2]}
+            assert db.keys() == ["k"]
+
+    def test_upsert_last_writer_wins_single_row(self, tmp_path):
+        with SqliteStore(tmp_path / "s.sqlite") as db:
+            db.store("k", {"v": 1})
+            db.store("k", {"v": 2})
+            db.store("k", {"v": 3})
+            assert db.load("k") == {"v": 3}
+            assert db.keys() == ["k"]
+            assert db.stats()["results"] == 1
+
+    def test_fallback_promotion_audited(self, tmp_path):
+        files = FileStore(tmp_path / "c")
+        files.store("old", {"ratio": 2.0})
+        with SqliteStore(tmp_path / "s.sqlite", fallback=files) as db:
+            # Miss in sqlite, hit in the file cache: served and
+            # promoted with an audit row.
+            assert db.load("old") == {"ratio": 2.0}
+            assert "old" in db.keys()
+            actions = [r["action"] for r in db.audit_rows()]
+            assert "migrate" in actions
+            # Now served from sqlite even if the file disappears.
+            (tmp_path / "c" / "old.json").unlink()
+            assert db.load("old") == {"ratio": 2.0}
+
+    def test_migrate_from_round_trip(self, tmp_path):
+        files = FileStore(tmp_path / "c")
+        payloads = {f"k{i}": {"i": i, "nested": {"x": [i]}}
+                    for i in range(7)}
+        for key, payload in payloads.items():
+            files.store(key, payload)
+        with SqliteStore(tmp_path / "s.sqlite") as db:
+            assert db.migrate_from(files) == 7
+            for key, payload in payloads.items():
+                assert db.load(key) == payload
+            # Idempotent: a second pass imports nothing.
+            assert db.migrate_from(files) == 0
+            assert db.stats()["results"] == 7
+
+    def test_pre_refactor_cache_entry_is_a_hit(self, cache,
+                                               monkeypatch, tmp_path):
+        # A payload written under the historical file layout — before
+        # the store existed — satisfies a Point cache lookup through
+        # the sqlite store's fallback.
+        pt = Point.ratio(BENCH)
+        files = FileStore(cache)
+        files.store(pt.cache_key(), {"ratio": 1.25})
+        monkeypatch.setenv("REPRO_STORE",
+                           str(tmp_path / "store.sqlite"))
+        assert pt.load_cached() == {"ratio": 1.25}
+        assert isinstance(active_store(), SqliteStore)
+
+    def test_claims_exclusive_reclaim_release(self, tmp_path):
+        with SqliteStore(tmp_path / "s.sqlite") as db:
+            assert db.claim("pt", owner="a")
+            assert not db.claim("pt", owner="b")
+            assert db.claim("pt", owner="a")  # idempotent re-claim
+            db.release("pt", owner="b")       # wrong owner: no-op
+            assert not db.claim("pt", owner="b")
+            db.release("pt", owner="a")
+            assert db.claim("pt", owner="b")
+
+    def test_stale_claims_swept(self, tmp_path):
+        with SqliteStore(tmp_path / "s.sqlite",
+                         claim_stale_s=0.05) as db:
+            assert db.claim("pt", owner="crashed")
+            time.sleep(0.1)
+            assert db.claim("pt", owner="successor")
+
+    def test_audit_rows_limit_and_filter(self, tmp_path):
+        with SqliteStore(tmp_path / "s.sqlite") as db:
+            db.store("k", {"v": 1})
+            db.audit("submit", key="job1", actor="alice",
+                     detail={"points": 3})
+            db.audit("cancel", key="job1", actor="alice")
+            rows = db.audit_rows(limit=2)
+            assert len(rows) == 2
+            assert rows[0]["action"] == "cancel"  # newest first
+            submits = db.audit_rows(action="submit")
+            assert [r["key"] for r in submits] == ["job1"]
+            assert submits[0]["detail"] == {"points": 3}
+
+    def test_stats_and_integrity(self, tmp_path):
+        with SqliteStore(tmp_path / "s.sqlite") as db:
+            db.store("k", {"v": 1})
+            st = db.stats()
+            assert st["backend"] == "sqlite"
+            assert st["results"] == 1 and st["schema"] == 1
+            assert db.integrity_ok()
+
+
+class TestActiveStore:
+    def test_file_backend_by_default(self, cache):
+        store = active_store()
+        assert isinstance(store, FileStore)
+        assert store.root == cache
+
+    def test_repro_store_selects_sqlite(self, cache, monkeypatch,
+                                        tmp_path):
+        monkeypatch.setenv("REPRO_STORE", str(tmp_path / "s.sqlite"))
+        store = active_store()
+        assert isinstance(store, SqliteStore)
+        assert isinstance(store.fallback, FileStore)
+        # Stable while the environment is stable...
+        assert active_store() is store
+        # ...rebuilt when it changes.
+        monkeypatch.delenv("REPRO_STORE")
+        assert isinstance(active_store(), FileStore)
+
+
+def _run_sweep(points, out_path):
+    """One engine sweep in a child process (fork-safe: the child is
+    single-threaded, so its own worker forks cannot deadlock on locks
+    another thread held at fork time)."""
+    from repro.experiments.engine import ParallelEngine
+    outcomes = ParallelEngine(workers=2).run(points)
+    out_path.write_text(json.dumps({
+        "ok": all(oc.ok for oc in outcomes.values()),
+        "payloads": {pt.cache_key(): oc.payload
+                     for pt, oc in outcomes.items()},
+    }))
+
+
+def _hammer(path, writer, rounds):
+    db = SqliteStore(path, busy_timeout_ms=30_000)
+    try:
+        for r in range(rounds):
+            for k in range(5):
+                db.store(f"k{k}", {"writer": writer, "round": r,
+                                   "k": k})
+    finally:
+        db.close()
+
+
+class TestConcurrency:
+    def test_many_processes_one_database(self, tmp_path):
+        """Four writer processes upserting the same five keys never
+        corrupt the database or tear a payload."""
+        path = tmp_path / "s.sqlite"
+        ctx = multiprocessing.get_context("fork")
+        procs = [ctx.Process(target=_hammer, args=(path, w, 25))
+                 for w in range(4)]
+        for p in procs:
+            p.start()
+        for p in procs:
+            p.join()
+            assert p.exitcode == 0
+        with SqliteStore(path) as db:
+            assert db.keys() == [f"k{k}" for k in range(5)]
+            for k in range(5):
+                payload = db.load(f"k{k}")
+                assert payload is not None and payload["k"] == k
+                assert payload["writer"] in range(4)
+            assert db.integrity_ok()
+            # One audit row per store() call survived the contention.
+            assert db.stats()["audit"] == 4 * 25 * 5
+
+    def test_two_engines_share_one_store(self, cache, monkeypatch,
+                                         tmp_path):
+        """Two parallel engines (separate processes) sweeping the same
+        plan through one sqlite store: all points succeed, each key
+        holds exactly one row, and the payloads agree."""
+        monkeypatch.setenv("REPRO_SCALE", str(SCALE))
+        monkeypatch.setenv("REPRO_STORE",
+                           str(tmp_path / "shared.sqlite"))
+        points = [Point.ratio(BENCH), Point.ratio("twolf")]
+        ctx = multiprocessing.get_context("fork")
+        outs = {n: tmp_path / f"engine-{n}.json" for n in ("a", "b")}
+        procs = [ctx.Process(target=_run_sweep, args=(points, out))
+                 for out in outs.values()]
+        for p in procs:
+            p.start()
+        for p in procs:
+            p.join(timeout=300)
+            assert p.exitcode == 0
+        results = {n: json.loads(out.read_text())
+                   for n, out in outs.items()}
+        assert results["a"]["ok"] and results["b"]["ok"]
+        assert results["a"]["payloads"] == results["b"]["payloads"]
+        with SqliteStore(tmp_path / "shared.sqlite") as db:
+            assert db.integrity_ok()
+            for pt in points:
+                key = pt.cache_key()
+                assert db.load(key) == results["a"]["payloads"][key]
+
+
+def test_store_self_check_passes(capsys):
+    assert store_self_check(verbose=False) == 0

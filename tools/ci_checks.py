@@ -9,6 +9,10 @@ Runs, in order:
   monotonically.
 * ``docs`` — ``tools/check_docs.py`` (markdown link check + fenced
   doctest runner over README.md and docs/).
+* ``store`` — the repository layer's end-to-end self-check
+  (``repro.experiments.store.store_self_check``): migration
+  round-trip, upsert atomicity, fallback promotion, claim
+  exclusivity, and sqlite integrity on a throwaway store.
 
 Usage::
 
@@ -40,9 +44,15 @@ def check_docs() -> int:
     return check_docs.main()
 
 
+def check_store() -> int:
+    from repro.experiments.store import store_self_check
+    return store_self_check()
+
+
 CHECKS = {
     "lint": check_lint,
     "docs": check_docs,
+    "store": check_store,
 }
 
 
