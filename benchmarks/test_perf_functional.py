@@ -1,0 +1,97 @@
+"""Performance guard for the functional interpreter's hot path.
+
+Mirrors ``test_perf_cycle_loop.py`` for the functional layer.  Two
+claims, checked together because the second is meaningless without
+the first:
+
+1. **Bit identity** — blocks mode (the decoded basic-block cache,
+   ``repro.functional.blocks``) produces exactly the statistics and
+   architectural state the per-instruction interpreter produces.  Any
+   divergence — a miscounted ``int_ops``, a stale register binding, a
+   dropped window frame — fails here before it can skew a sampled
+   simulation.
+
+2. **Speed** — blocks mode must execute at least ``SPEEDUP_FLOOR``
+   times the instructions/sec of interp mode on the same workload,
+   and both modes must clear pinned absolute floors.  The floors are
+   set far below the measured values (interp ~470k i/s, blocks warm
+   ~6.0M i/s, ~12.6x) so shared-runner timer noise cannot fail a
+   genuinely fast tree.
+
+Results are appended to ``BENCH_perf.json`` at the repo root (rows
+``functional-interp`` / ``functional-blocks``, value field
+``instructions_per_sec``) so ``repro bench diff`` can trend them.
+"""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.experiments.benchdiff import (
+    FUNCTIONAL_BENCH, SCALE, measure_functional,
+)
+from repro.functional import FunctionalSim
+from repro.workloads.generator import benchmark_program
+
+#: blocks-mode i/s must be at least this multiple of interp-mode i/s.
+SPEEDUP_FLOOR = 5.0
+#: Absolute instructions/sec floors, pinned well below measured
+#: values (best-of-5 on the tree that introduced blocks mode).
+ABSOLUTE_FLOORS = {"functional-interp": 150_000.0,
+                   "functional-blocks": 1_200_000.0}
+TIMING_ROUNDS = 5
+
+
+@pytest.mark.parametrize("bench,abi", [
+    ("fib", "windowed"), ("fib", "flat"),
+    ("gzip_graphic", "windowed"), ("twolf", "windowed"),
+])
+def test_blocks_bit_identical(bench, abi):
+    prog = benchmark_program(bench, abi=abi, scale=1.0, seed=0)
+    ref = FunctionalSim(prog, mode="interp")
+    ref_stats = ref.run()
+    sim = FunctionalSim(prog, mode="blocks")
+    stats = sim.run()
+    assert stats == ref_stats, (
+        f"{bench}/{abi}: blocks-mode FunctionalStats diverged from "
+        f"the interpreter")
+    assert sim.save_state() == ref.save_state(), (
+        f"{bench}/{abi}: blocks-mode architectural state diverged")
+
+
+def test_functional_speedup():
+    results = measure_functional(rounds=TIMING_ROUNDS)
+    interp = results["functional-interp"]["instructions_per_sec"]
+    blocks = results["functional-blocks"]["instructions_per_sec"]
+    ratio = blocks / interp
+    for key, rec in results.items():
+        rec["speedup_vs_interp"] = (
+            rec["instructions_per_sec"] / interp)
+        print(f"\n{key}: {rec['instructions']} instrs, best "
+              f"{rec['instructions_per_sec']:,.0f} i/s "
+              f"({FUNCTIONAL_BENCH}, scale {SCALE})")
+    print(f"blocks vs interp: {ratio:.2f}x")
+
+    out = Path(__file__).resolve().parent.parent / "BENCH_perf.json"
+    history = []
+    if out.exists():
+        try:
+            history = json.loads(out.read_text())
+        except ValueError:
+            history = []
+    history.append({
+        "schema": "repro.bench-perf", "schema_version": 1,
+        "bench": FUNCTIONAL_BENCH, "scale": SCALE,
+        "rounds": TIMING_ROUNDS, "results": results,
+    })
+    out.write_text(json.dumps(history, indent=2, sort_keys=True))
+
+    for key, floor in ABSOLUTE_FLOORS.items():
+        ips = results[key]["instructions_per_sec"]
+        assert ips >= floor, (
+            f"{key}: {ips:,.0f} i/s is below the pinned floor "
+            f"{floor:,.0f} i/s")
+    assert ratio >= SPEEDUP_FLOOR, (
+        f"blocks mode is only {ratio:.2f}x interp mode; floor is "
+        f"{SPEEDUP_FLOOR}x")

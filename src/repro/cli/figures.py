@@ -130,6 +130,10 @@ def _cmd_sweep(args) -> int:
         # (workers inherit it through repro_env), so the flag is just
         # a spelling of the variable.
         os.environ["REPRO_STORE"] = args.store
+    if args.functional_mode:
+        # Same pattern: the functional layer reads the variable, and
+        # repro_env() forwards it into every worker fork.
+        os.environ["REPRO_FUNCTIONAL_MODE"] = args.functional_mode
     spec = sweep_spec(args)
     points = spec.points()
     if args.sample:
@@ -274,6 +278,12 @@ def register(sub) -> None:
                          "read-through fallback)")
     sw.add_argument("--csv", metavar="PATH", default=None,
                     help="write per-point outcomes as CSV")
+    sw.add_argument("--functional-mode",
+                    choices=["interp", "blocks", "batched"],
+                    default=None,
+                    help="functional engine for sampled points' "
+                         "profiling/fast-forward passes (sets "
+                         "REPRO_FUNCTIONAL_MODE; default: blocks)")
     sw.add_argument("--metrics", action="store_true",
                     help="print engine metrics (repro.obs registry)")
     sw.add_argument("--quiet", action="store_true",

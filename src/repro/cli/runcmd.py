@@ -30,9 +30,16 @@ def _cmd_list(args) -> int:
 
 
 def _cmd_run(args) -> int:
+    import os
+
     from repro.obs import JsonlSink, MetricsRegistry, build_tracer
     from repro.workloads.generator import benchmark_program
 
+    if args.functional_mode:
+        # The functional layer reads the variable at sim construction,
+        # so the flag covers the sampled profiling/fast-forward passes
+        # of this process.
+        os.environ["REPRO_FUNCTIONAL_MODE"] = args.functional_mode
     benches = args.bench_pos or args.bench
     abi = model_abi(args.model)
     programs = [benchmark_program(b, abi, thread=i, scale=args.scale,
@@ -305,6 +312,12 @@ def register(sub) -> None:
                      metavar="N",
                      help="detailed (unmeasured) warmup instructions "
                           "before each interval")
+    run.add_argument("--functional-mode",
+                     choices=["interp", "blocks", "batched"],
+                     default=None,
+                     help="functional engine for --sample's profiling "
+                          "and fast-forward passes (sets "
+                          "REPRO_FUNCTIONAL_MODE; default: blocks)")
     run.set_defaults(fn=_cmd_run)
 
     prof = sub.add_parser(

@@ -47,7 +47,8 @@ def _cmd_serve(args) -> int:
         store = SqliteStore(args.store, actor="serve")
     sched = Scheduler(workers=args.workers, timeout=args.timeout,
                       quotas=quotas, default_quota=args.default_quota,
-                      state_dir=args.state_dir, store=store)
+                      state_dir=args.state_dir, store=store,
+                      functional_mode=args.functional_mode)
     server = ServiceServer(sched, host=args.host, port=args.port,
                            verbose=args.verbose)
     sched.start()
@@ -174,6 +175,13 @@ def _cmd_store(args) -> int:
             print(f"store migrate: imported {n} entries from "
                   f"{src.root} into {args.path}")
             return 0
+        if args.store_cmd == "gc-claims":
+            n = store.gc_claims(max_age_s=args.max_age,
+                                owner=args.owner)
+            left = store.stats()["claims"]
+            print(f"store gc-claims: removed {n} claims "
+                  f"({left} remain)")
+            return 0
         # audit
         rows = store.audit_rows(limit=args.limit, action=args.action)
         for rec in rows:
@@ -214,6 +222,12 @@ def register(sub) -> None:
                     metavar="N",
                     help="slot cap for tenants without an explicit "
                          "--quota (default: the pool size)")
+    sv.add_argument("--functional-mode",
+                    choices=["interp", "blocks", "batched"],
+                    default=None,
+                    help="functional engine for the worker pool's "
+                         "profiling/fast-forward passes (exported as "
+                         "REPRO_FUNCTIONAL_MODE; default: blocks)")
     sv.add_argument("--verbose", action="store_true",
                     help="log every HTTP request to stderr")
     sv.set_defaults(fn=_cmd_serve)
@@ -278,5 +292,17 @@ def register(sub) -> None:
                      help="rows to show (default 50)")
     sad.add_argument("--action", default=None,
                      help="only rows with this action (store, "
-                          "migrate, submit, cancel)")
+                          "migrate, submit, cancel, gc-claims)")
     sad.set_defaults(fn=_cmd_store)
+    sgc = ssub.add_parser(
+        "gc-claims", help="drop stale (or one owner's) cross-process "
+                          "claims")
+    sgc.add_argument("path", help="sqlite store file")
+    sgc.add_argument("--max-age", type=float, default=None,
+                     metavar="SECS",
+                     help="drop claims older than SECS (default: the "
+                          "store's stale threshold, 3600; 0 sweeps "
+                          "all)")
+    sgc.add_argument("--owner", default=None,
+                     help="drop this owner's claims regardless of age")
+    sgc.set_defaults(fn=_cmd_store)

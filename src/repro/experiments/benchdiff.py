@@ -2,12 +2,18 @@
 
 ``benchmarks/test_perf_cycle_loop.py`` appends a record to
 ``BENCH_perf.json`` every time it runs, accumulating a history of
-cycles-per-second measurements.  This module re-measures the same
-workloads fresh (best-of-N, same model/scale as the benchmark) and
-compares against the history baseline — the median of the most recent
-entries, which is robust to one outlier run on a noisy machine.  A
-benchmark is a regression when its fresh throughput falls more than
-``threshold`` below that baseline.
+cycles-per-second measurements; ``benchmarks/test_perf_functional.py``
+does the same for the functional interpreter's instructions-per-second
+(one row per execution mode, keyed ``functional-interp`` /
+``functional-blocks``).  This module re-measures the same workloads
+fresh (best-of-N, same model/scale as the benchmarks) and compares
+against the history baseline — the median of the most recent entries,
+which is robust to one outlier run on a noisy machine.  A benchmark is
+a regression when its fresh throughput falls more than ``threshold``
+below that baseline.  Each row carries its value field
+(``cycles_per_sec`` for detailed-model rows, ``instructions_per_sec``
+for functional rows) so the two kinds of throughput are never compared
+against each other's history.
 
 Exit codes: 0 (no regression), 1 (regression past threshold), 2 (no
 usable history — nothing to diff against).  ``report_only`` forces
@@ -29,7 +35,8 @@ from repro.workloads.generator import benchmark_program
 
 __all__ = [
     "DEFAULT_HISTORY", "default_history_path", "measure_fresh",
-    "history_baseline", "diff_rows", "render_diff", "bench_diff",
+    "measure_functional", "history_baseline", "diff_rows",
+    "render_diff", "bench_diff",
 ]
 
 #: The benchmark set BENCH_perf.json history records.
@@ -39,6 +46,13 @@ SCALE = 4.0
 DEFAULT_HISTORY = "BENCH_perf.json"
 #: History entries (most recent first) the baseline median spans.
 BASELINE_WINDOW = 5
+#: Functional-throughput rows: the workload FunctionalSim is timed on
+#: and the execution modes measured (row key ``functional-<mode>``).
+FUNCTIONAL_BENCH = "fib"
+FUNCTIONAL_MODES_MEASURED = ("interp", "blocks")
+#: The per-row value fields, in probe order: detailed-model rows carry
+#: ``cycles_per_sec``, functional rows ``instructions_per_sec``.
+VALUE_FIELDS = ("cycles_per_sec", "instructions_per_sec")
 
 
 def default_history_path() -> Path:
@@ -71,6 +85,46 @@ def measure_fresh(benches: Sequence[str] = BENCHES, rounds: int = 3,
     return out
 
 
+def measure_functional(rounds: int = 3, scale: float = SCALE,
+                       bench: str = FUNCTIONAL_BENCH) -> Dict[str, Dict]:
+    """Best-of-``rounds`` functional instructions/sec per execution
+    mode, matching ``benchmarks/test_perf_functional.py``.  Each mode
+    constructs a fresh :class:`FunctionalSim` so the ``blocks`` row
+    includes first-visit decode cost (the program — and therefore its
+    block table — is cached across rounds, so later rounds replay
+    warm; best-of keeps the warm number, which is what the history
+    tracks)."""
+    from repro.functional import FunctionalSim
+
+    out: Dict[str, Dict] = {}
+    for mode in FUNCTIONAL_MODES_MEASURED:
+        best = 0.0
+        instructions = 0
+        for _ in range(max(1, rounds)):
+            prog = benchmark_program(bench, abi="windowed",
+                                     scale=scale, seed=0)
+            sim = FunctionalSim(prog, mode=mode)
+            t0 = time.perf_counter()
+            stats = sim.run()
+            dt = time.perf_counter() - t0
+            instructions = stats.instructions
+            best = max(best, instructions / dt if dt else 0.0)
+        out[f"functional-{mode}"] = {
+            "instructions": instructions,
+            "instructions_per_sec": best,
+        }
+    return out
+
+
+def value_field(rec: Dict) -> str:
+    """The throughput field a result record carries (first of
+    :data:`VALUE_FIELDS` present; defaults to cycles/sec)."""
+    for field in VALUE_FIELDS:
+        if rec.get(field):
+            return field
+    return VALUE_FIELDS[0]
+
+
 def load_history(path) -> List[Dict]:
     """The BENCH_perf.json entry list (empty on any read problem)."""
     try:
@@ -81,15 +135,16 @@ def load_history(path) -> List[Dict]:
 
 
 def history_baseline(history: List[Dict], bench: str,
-                     window: int = BASELINE_WINDOW
+                     window: int = BASELINE_WINDOW,
+                     field: str = "cycles_per_sec"
                      ) -> Optional[float]:
-    """Median cycles/sec over the last ``window`` history entries
-    that measured ``bench`` (``None`` when no entry did)."""
+    """Median throughput (``field``) over the last ``window`` history
+    entries that measured ``bench`` (``None`` when no entry did)."""
     values = []
     for entry in reversed(history):
         rec = (entry.get("results") or {}).get(bench)
-        if isinstance(rec, dict) and rec.get("cycles_per_sec"):
-            values.append(float(rec["cycles_per_sec"]))
+        if isinstance(rec, dict) and rec.get(field):
+            values.append(float(rec[field]))
         if len(values) >= window:
             break
     return statistics.median(values) if values else None
@@ -97,34 +152,46 @@ def history_baseline(history: List[Dict], bench: str,
 
 def diff_rows(fresh: Dict[str, Dict], history: List[Dict],
               threshold: float) -> List[Dict]:
-    """One comparison row per freshly measured benchmark."""
+    """One comparison row per freshly measured benchmark.  Rows keep
+    the legacy ``fresh_cps``/``baseline_cps`` keys for cycle-loop
+    benchmarks; every row also carries generic ``fresh``/``baseline``
+    plus the ``field`` it measures."""
     rows = []
     for bench, rec in sorted(fresh.items()):
-        base = history_baseline(history, bench)
-        cps = float(rec["cycles_per_sec"])
-        ratio = cps / base if base else None
-        rows.append({
+        field = value_field(rec)
+        base = history_baseline(history, bench, field=field)
+        val = float(rec[field])
+        ratio = val / base if base else None
+        row = {
             "bench": bench,
-            "fresh_cps": cps,
-            "baseline_cps": base,
+            "field": field,
+            "fresh": val,
+            "baseline": base,
             "ratio": ratio,
             "regressed": (ratio is not None
                           and ratio < 1.0 - threshold),
-        })
+        }
+        if field == "cycles_per_sec":
+            row["fresh_cps"] = val
+            row["baseline_cps"] = base
+        rows.append(row)
     return rows
 
 
 def render_diff(rows: List[Dict], threshold: float) -> str:
-    lines = [f"{'benchmark':<16}{'fresh c/s':>12}{'baseline':>12}"
+    lines = [f"{'benchmark':<20}{'fresh':>14}{'baseline':>12}"
              f"{'ratio':>8}  verdict"]
     for r in rows:
-        if r["baseline_cps"] is None:
+        unit = ("i/s" if r["field"] == "instructions_per_sec"
+                else "c/s")
+        if r["baseline"] is None:
             verdict, base, ratio = "no history", "--", "--"
         else:
             verdict = ("REGRESSED" if r["regressed"] else "ok")
-            base = f"{r['baseline_cps']:,.0f}"
+            base = f"{r['baseline']:,.0f}"
             ratio = f"{r['ratio']:.2f}x"
-        lines.append(f"{r['bench']:<16}{r['fresh_cps']:>12,.0f}"
+        fresh = f"{r['fresh']:,.0f} {unit}"
+        lines.append(f"{r['bench']:<20}{fresh:>14}"
                      f"{base:>12}{ratio:>8}  {verdict}")
     lines.append(f"(threshold: >{threshold:.0%} below the median of "
                  f"the last {BASELINE_WINDOW} history entries)")
@@ -137,7 +204,8 @@ def bench_diff(history_path=None, rounds: int = 3,
     """Run the comparison end to end; returns the process exit code."""
     path = Path(history_path) if history_path else default_history_path()
     history = load_history(path)
-    fresh = measure_fresh(rounds=rounds)
+    fresh = dict(measure_fresh(rounds=rounds))
+    fresh.update(measure_functional(rounds=rounds))
     rows = diff_rows(fresh, history, threshold)
     out(f"bench diff: history {path} ({len(history)} entries)")
     out(render_diff(rows, threshold))
@@ -148,7 +216,7 @@ def bench_diff(history_path=None, rounds: int = 3,
             "threshold": threshold, "rows": rows,
         }, indent=2, sort_keys=True))
         out(f"(wrote {json_out})")
-    if all(r["baseline_cps"] is None for r in rows):
+    if all(r["baseline"] is None for r in rows):
         out("bench diff: no usable history; run the benchmarks "
             "(pytest benchmarks/) to seed BENCH_perf.json")
         return 0 if report_only else 2

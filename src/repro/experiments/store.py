@@ -347,6 +347,35 @@ class SqliteStore(ResultStore):
                     (key, owner))
             self._conn.commit()
 
+    def gc_claims(self, max_age_s: Optional[float] = None,
+                  owner: Optional[str] = None) -> int:
+        """Bulk-drop claims; returns how many rows were removed.
+
+        With ``owner`` set, drops that owner's claims regardless of
+        age (e.g. after a scheduler is known dead).  Otherwise drops
+        claims older than ``max_age_s`` (default ``claim_stale_s``;
+        ``0`` sweeps everything).  :meth:`claim` already sweeps stale
+        rows opportunistically — this is the explicit maintenance
+        entry point (``repro store gc-claims``), and it leaves an
+        audit record when anything was removed.
+        """
+        with self._lock:
+            if owner is not None:
+                cur = self._conn.execute(
+                    "DELETE FROM claims WHERE owner = ?", (owner,))
+            else:
+                age = self.claim_stale_s if max_age_s is None \
+                    else max_age_s
+                cur = self._conn.execute(
+                    "DELETE FROM claims WHERE t < ?",
+                    (time.time() - age,))
+            removed = cur.rowcount
+            self._conn.commit()
+        if removed:
+            self.audit("gc-claims",
+                       detail={"removed": removed, "owner": owner})
+        return removed
+
     # -- maintenance -------------------------------------------------------
 
     def migrate_from(self, other: ResultStore,

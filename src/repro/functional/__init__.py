@@ -1,11 +1,19 @@
 """Functional (instruction-accurate) simulation."""
 
 from .interp import (
-    MASK64, FunctionalError, FunctionalSim, FunctionalStats, to_signed,
+    FUNCTIONAL_MODES, MASK64, FunctionalError, FunctionalSim,
+    FunctionalStats, default_functional_mode, resolve_functional_mode,
+    to_signed,
 )
+from .batch import BatchedRunner, run_batched
+from .blocks import BlockTable, advance_blocks, block_table, run_blocks
 from .pathlength import PathLengthResult, measure_path_length
 
 __all__ = [
-    "MASK64", "FunctionalError", "FunctionalSim", "FunctionalStats",
-    "to_signed", "PathLengthResult", "measure_path_length",
+    "FUNCTIONAL_MODES", "MASK64", "FunctionalError", "FunctionalSim",
+    "FunctionalStats", "default_functional_mode",
+    "resolve_functional_mode", "to_signed",
+    "BatchedRunner", "run_batched",
+    "BlockTable", "advance_blocks", "block_table", "run_blocks",
+    "PathLengthResult", "measure_path_length",
 ]

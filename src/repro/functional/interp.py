@@ -16,6 +16,7 @@ in a single frame shared by all activations.
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
@@ -26,6 +27,36 @@ from repro.isa.registers import SP_REG, WINDOW_REGS
 
 MASK64 = (1 << 64) - 1
 SIGN64 = 1 << 63
+
+#: Execution modes of :class:`FunctionalSim`.  ``interp`` is the
+#: per-instruction ``step()`` loop; ``blocks`` replays decoded basic
+#: blocks (``repro.functional.blocks``); ``batched`` is ``blocks`` for
+#: a single simulator and additionally opts drivers into
+#: ``repro.functional.batch``'s many-sims-per-process scheduling.
+FUNCTIONAL_MODES = ("interp", "blocks", "batched")
+
+
+def default_functional_mode() -> str:
+    """Process-wide default mode, from ``REPRO_FUNCTIONAL_MODE``.
+
+    Defaults to ``blocks``: the decoded-block cache is bit-identical
+    to the interpreter (``tests/test_functional_blocks.py``), so the
+    fast path is safe to be the default.  The environment variable is
+    forwarded to sweep/service workers by ``repro_env()``.
+    """
+    return resolve_functional_mode(
+        os.environ.get("REPRO_FUNCTIONAL_MODE", "blocks"))
+
+
+def resolve_functional_mode(mode: Optional[str]) -> str:
+    """Validate ``mode`` (``None`` means the process default)."""
+    if mode is None:
+        return default_functional_mode()
+    if mode not in FUNCTIONAL_MODES:
+        raise ValueError(
+            f"unknown functional mode {mode!r} "
+            f"(expected one of {', '.join(FUNCTIONAL_MODES)})")
+    return mode
 
 
 def to_signed(v: int) -> int:
@@ -72,16 +103,31 @@ class FunctionalSim:
     Args:
         program: the assembled binary.
         trace: if true, record ``(pc, disassembly)`` tuples (slow; for
-            debugging only).
+            debugging only — tracing always uses the interp path).
+        mode: execution mode (:data:`FUNCTIONAL_MODES`); ``None``
+            resolves :func:`default_functional_mode`.  All modes are
+            architecturally bit-identical; ``blocks``/``batched`` run
+            :meth:`run` through the decoded basic-block cache.
     """
 
-    def __init__(self, program: Program, trace: bool = False) -> None:
+    #: Set by ``fast_forward`` while branch/RAS capture is wanted; the
+    #: compiled block terminators check it (interp mode captures
+    #: externally, per step, inside ``fast_forward`` itself).
+    _cap = False
+
+    def __init__(self, program: Program, trace: bool = False,
+                 mode: Optional[str] = None) -> None:
         self.program = program
         self.mem: Dict[int, float] = dict(program.data)
         self.stats = FunctionalStats()
         self.halted = False
         self.pc = program.entry
         self.trace: Optional[List[str]] = [] if trace else None
+        self.mode = resolve_functional_mode(mode)
+        # Epoch of the mutable state objects below; load_state bumps
+        # it so the block executor rebinds (repro.functional.blocks).
+        self._epoch = 0
+        self._binding = None
 
         self.regs: List[float] = [0] * 64
         self.regs[SP_REG] = program.stack_top
@@ -128,12 +174,19 @@ class FunctionalSim:
         }
 
     def load_state(self, state: Dict[str, object]) -> None:
-        """Install a :meth:`save_state` snapshot (stats untouched)."""
+        """Install a :meth:`save_state` snapshot (stats untouched).
+
+        Replacing ``regs``/``frames``/``mem`` invalidates any cached
+        execution binding: the block executor closes over the old
+        objects, so the epoch bump forces it to rebind.
+        """
         self.pc = state["pc"]
         self.halted = state["halted"]
         self.regs = list(state["regs"])
         self.frames = [list(f) for f in state["frames"]]
         self.mem = dict(state["mem"])
+        self._epoch += 1
+        self._binding = None
 
     # -- memory access ----------------------------------------------------
     def read_mem(self, addr: int) -> float:
@@ -149,6 +202,9 @@ class FunctionalSim:
     # ------------------------------------------------------------------
     def run(self, max_instructions: int = 50_000_000) -> FunctionalStats:
         """Execute until ``HALT``; returns the statistics."""
+        if self.mode != "interp" and self.trace is None:
+            from repro.functional.blocks import run_blocks
+            return run_blocks(self, max_instructions)
         while not self.halted:
             if self.stats.instructions >= max_instructions:
                 raise FunctionalError(

@@ -162,7 +162,9 @@ class LintConfig:
     #: Rank assumed for subpackages absent from ``layers``.
     layer_default: int = SIM
     #: Modules where *every* class must declare ``__slots__``.
-    slots_modules: Tuple[str, ...] = ("pipeline/dyninst.py",)
+    slots_modules: Tuple[str, ...] = ("pipeline/dyninst.py",
+                                      "functional/blocks.py",
+                                      "functional/batch.py")
     #: Method names that reset a pooled object for reuse.
     reset_methods: Tuple[str, ...] = ("reinit",)
     #: Modules whose dataclass fields the coverage rule audits.

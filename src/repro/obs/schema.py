@@ -87,6 +87,11 @@ COUNTERS: Tuple[str, ...] = (
     "sampling.detailed_instructions",
     "sampling.detailed_cycles",
     "sampling.est_cycles",
+    # functional decoded-block cache (repro.functional.blocks; set by
+    # the sampler over the profiling + fast-forward passes)
+    "functional.block_decodes",        # static blocks compiled (misses)
+    "functional.block_replays",        # dynamic visits served (hits)
+    "functional.block_step_fallback",  # per-instruction boundary steps
     # stage profiler (repro.obs.profile)
     "profile.*.seconds",
     "profile.*.calls",

@@ -206,8 +206,25 @@ def fast_forward(sim: FunctionalSim, n: int) -> int:
     Stops early at ``HALT``.  When ``sim`` is a
     :class:`CheckpointingSim` the conditional-branch outcomes and the
     call stack are recorded as a side effect.
+
+    In blocks/batched mode the bounded run goes through the decoded
+    basic-block cache (``repro.functional.blocks``): whole blocks are
+    replayed and the final partial block is stepped per instruction,
+    so the stop boundary — and the captured traces — are bit-identical
+    to interp mode.  The ``_cap`` flag scopes the block terminators'
+    branch/RAS capture to the fast-forward, mirroring how interp-mode
+    capture only happens inside this function.
     """
     capture = isinstance(sim, CheckpointingSim)
+    if sim.mode != "interp" and sim.trace is None:
+        from repro.functional.blocks import advance_blocks
+        if capture:
+            sim._cap = True
+        try:
+            return advance_blocks(sim, n)
+        finally:
+            if capture:
+                sim._cap = False
     code = sim.program.code
     done = 0
     while done < n and not sim.halted:

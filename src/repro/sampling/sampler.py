@@ -154,18 +154,32 @@ class SamplingMeta:
 # profiling pass
 # ======================================================================
 def profile_intervals(program: Program, interval_len: int,
-                      bbv_bucket: int = 8) -> IntervalProfile:
+                      bbv_bucket: int = 8,
+                      mode: Optional[str] = None) -> IntervalProfile:
     """Split a functional run into fixed-length intervals.
 
     The final interval may be short (the run rarely divides evenly);
     it still gets a BBV and is a legitimate representative.
+
+    ``mode`` picks the functional engine (defaults to
+    ``REPRO_FUNCTIONAL_MODE``).  Blocks mode replays decoded basic
+    blocks and accumulates their precomputed bucket run-lengths; the
+    counts, BBVs (including dict insertion order) and totals are
+    bit-identical to the per-instruction loop, which
+    ``tests/test_functional_blocks.py`` asserts.
     """
     if interval_len <= 0:
         raise SamplingError(f"interval_len must be positive, "
                             f"got {interval_len}")
-    sim = FunctionalSim(program)
+    sim = FunctionalSim(program, mode=mode)
     counts: List[int] = []
     bbvs: List[Dict[int, int]] = []
+    if sim.mode != "interp":
+        from repro.functional.blocks import run_intervals
+        for count, bbv in run_intervals(sim, interval_len, bbv_bucket):
+            counts.append(count)
+            bbvs.append(bbv)
+        return IntervalProfile(counts=counts, bbvs=bbvs, total=sim.stats)
     while not sim.halted:
         start = sim.stats.instructions
         bbv: Dict[int, int] = {}
@@ -552,5 +566,15 @@ def run_sampled(model: str, cfg: MachineConfig, program: Program,
               meta.detailed_instructions)
         m.set("sampling.detailed_cycles", meta.detailed_cycles)
         m.set("sampling.est_cycles", meta.est_cycles)
+        # Block-cache effectiveness over the profiling + fast-forward
+        # passes (the table is shared per program object; all zero in
+        # interp mode).
+        table = getattr(program, "_block_table", None)
+        m.set("functional.block_decodes",
+              table.decoded if table else 0)
+        m.set("functional.block_replays",
+              table.replays if table else 0)
+        m.set("functional.block_step_fallback",
+              table.stepped if table else 0)
         est.metrics = m.to_dict()
     return est, meta

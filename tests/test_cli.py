@@ -35,6 +35,27 @@ class TestCli:
         with pytest.raises(SystemExit):
             main(["run", "--bench", "nonexistent"])
 
+    def test_store_gc_claims(self, capsys, tmp_path):
+        from repro.experiments.store import SqliteStore
+        path = str(tmp_path / "s.sqlite")
+        with SqliteStore(path) as db:
+            db.claim("pt", owner="dead-scheduler")
+        assert main(["store", "gc-claims", path,
+                     "--owner", "dead-scheduler"]) == 0
+        out = capsys.readouterr().out
+        assert "removed 1 claims (0 remain)" in out
+        assert main(["store", "gc-claims", path, "--max-age", "0"]) == 0
+        assert "removed 0 claims" in capsys.readouterr().out
+
+    def test_run_functional_mode_flag(self, capsys, monkeypatch):
+        import os
+        monkeypatch.delenv("REPRO_FUNCTIONAL_MODE", raising=False)
+        assert main(["run", "--model", "baseline", "--bench", "fib",
+                     "--scale", "0.2",
+                     "--functional-mode", "interp"]) == 0
+        assert os.environ["REPRO_FUNCTIONAL_MODE"] == "interp"
+        capsys.readouterr()
+
     def test_unknown_command_rejected(self):
         with pytest.raises(SystemExit):
             main(["frobnicate"])

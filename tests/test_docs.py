@@ -43,6 +43,9 @@ class TestRepoDocs:
             assert f"({page.name})" in index, (
                 f"docs/index.md does not link {page.name}")
 
+    def test_no_orphan_pages(self):
+        assert check_docs.check_orphans(REPO) == []
+
 
 class TestCheckerCatchesBreakage:
     def test_dead_link_detected(self, tmp_path):
@@ -71,3 +74,19 @@ class TestCheckerCatchesBreakage:
         f.write_text("```python\nx = 1  # illustrative only\n```\n")
         ran, failures = check_docs.run_doctests(f)
         assert ran == 0 and failures == []
+
+    def test_orphan_page_detected(self, tmp_path):
+        docs = tmp_path / "docs"
+        docs.mkdir()
+        (docs / "index.md").write_text("[a](reached.md)")
+        # Transitively reached pages are fine; lonely.md is not.
+        (docs / "reached.md").write_text("[b](also.md#frag)")
+        (docs / "also.md").write_text("no links")
+        (docs / "lonely.md").write_text("nobody links me")
+        errors = check_docs.check_orphans(tmp_path)
+        assert len(errors) == 1 and "lonely.md" in errors[0]
+
+    def test_missing_index_detected(self, tmp_path):
+        (tmp_path / "docs").mkdir()
+        errors = check_docs.check_orphans(tmp_path)
+        assert len(errors) == 1 and "index" in errors[0]

@@ -1,0 +1,298 @@
+"""Differential tests for the decoded basic-block cache.
+
+``repro.functional.blocks`` replays whole decoded basic blocks
+instead of dispatching per instruction, and ``repro.functional.batch``
+advances many independent simulations through that cache in one
+process.  The contract is *bit identity* with the per-instruction
+interpreter: same :class:`FunctionalStats`, same architectural state
+at every instruction boundary the caller can observe, same captured
+warmup traces, same exceptions.  These tests check the contract on
+randomly generated programs (hypothesis) and on the cache's
+invalidation edges: ``load_state``, checkpoint restore through a warm
+block table, and bounded fast-forwards that stop mid-block.
+"""
+
+import dataclasses
+import json
+
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.functional import (
+    BatchedRunner, FunctionalError, FunctionalSim, advance_blocks,
+    block_table, resolve_functional_mode, run_batched,
+)
+from repro.sampling.checkpoint import (
+    Checkpoint, CheckpointingSim, fast_forward, take_checkpoint,
+)
+from repro.sampling.sampler import profile_intervals
+from repro.workloads.generator import BenchmarkBuilder, benchmark_program
+from repro.workloads.profiles import BenchmarkProfile
+
+profile_strategy = st.builds(
+    BenchmarkProfile,
+    name=st.sampled_from(["blk_a", "blk_b", "blk_c"]),
+    call_interval=st.integers(min_value=40, max_value=400),
+    locals_int=st.integers(min_value=4, max_value=12),
+    locals_fp=st.integers(min_value=0, max_value=5),
+    levels=st.integers(min_value=1, max_value=3),
+    reps=st.integers(min_value=1, max_value=3),
+    recursion=st.sampled_from([0, 0, 8, 20]),
+    working_set=st.sampled_from([1024, 4096]),
+    load_frac=st.floats(min_value=0.05, max_value=0.3),
+    store_frac=st.floats(min_value=0.02, max_value=0.15),
+    fp_frac=st.floats(min_value=0.0, max_value=0.2),
+    branch_frac=st.floats(min_value=0.02, max_value=0.12),
+    branch_random=st.floats(min_value=0.0, max_value=0.4),
+    chase_frac=st.sampled_from([0.0, 0.05]),
+    ilp=st.integers(min_value=1, max_value=4),
+    target_dynamic=st.just(2500),
+)
+
+
+def build_program(profile, abi):
+    profile = dataclasses.replace(profile, fp=profile.fp_frac > 0)
+    return BenchmarkBuilder(profile).build().assemble(abi)
+
+
+def canon(state) -> str:
+    """JSON-canonicalised state for equality: FP workloads
+    legitimately produce NaNs (e.g. ``inf - inf``), and ``nan != nan``
+    would fail a plain dict comparison even though both modes stored
+    the same value."""
+    return json.dumps(state, sort_keys=True)
+
+
+# ---------------------------------------------------------------------------
+# whole-run equivalence
+# ---------------------------------------------------------------------------
+
+@pytest.mark.parametrize("abi", ["windowed", "flat"])
+@given(profile=profile_strategy)
+@settings(max_examples=8, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+def test_stats_and_state_identical(abi, profile):
+    program = build_program(profile, abi)
+    ref = FunctionalSim(program, mode="interp")
+    ref_stats = ref.run()
+    sim = FunctionalSim(program, mode="blocks")
+    stats = sim.run()
+    assert stats == ref_stats
+    assert canon(sim.save_state()) == canon(ref.save_state())
+
+
+@given(profile=profile_strategy)
+@settings(max_examples=4, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+def test_batched_mode_matches_interp(profile):
+    """``batched`` behaves exactly like ``blocks`` per simulation."""
+    program = build_program(profile, "windowed")
+    ref = FunctionalSim(program, mode="interp")
+    ref.run()
+    sim = FunctionalSim(program, mode="batched")
+    sim.run()
+    assert sim.stats == ref.stats
+    assert canon(sim.save_state()) == canon(ref.save_state())
+
+
+# ---------------------------------------------------------------------------
+# lockstep: bounded advances must agree at every boundary
+# ---------------------------------------------------------------------------
+
+@given(profile=profile_strategy,
+       budgets=st.lists(st.integers(min_value=1, max_value=700),
+                        min_size=1, max_size=8))
+@settings(max_examples=8, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+def test_bounded_advance_lockstep(profile, budgets):
+    """fast_forward through the block cache stops at exactly the same
+    instruction boundary — with exactly the same state — as the
+    per-instruction loop, even when the boundary falls mid-block."""
+    program = build_program(profile, "windowed")
+    ref = FunctionalSim(program, mode="interp")
+    sim = FunctionalSim(program, mode="blocks")
+    for n in budgets:
+        done_ref = fast_forward(ref, n)
+        done = fast_forward(sim, n)
+        assert done == done_ref
+        assert sim.stats == ref.stats
+        assert canon(sim.save_state()) == canon(ref.save_state())
+
+
+@given(profile=profile_strategy,
+       budgets=st.lists(st.integers(min_value=1, max_value=500),
+                        min_size=1, max_size=6))
+@settings(max_examples=6, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+def test_capture_parity(profile, budgets):
+    """CheckpointingSim's warmup traces (memory addresses, branch
+    outcomes, return-address stack) are identical in both modes, so
+    checkpoints taken at any fast-forward boundary serialise to the
+    same dict."""
+    program = build_program(profile, "windowed")
+    ref = CheckpointingSim(program)
+    ref.mode = "interp"
+    sim = CheckpointingSim(program)
+    sim.mode = "blocks"
+    for n in budgets:
+        fast_forward(ref, n)
+        fast_forward(sim, n)
+        assert (canon(take_checkpoint(sim).to_dict())
+                == canon(take_checkpoint(ref).to_dict()))
+
+
+# ---------------------------------------------------------------------------
+# invalidation edges
+# ---------------------------------------------------------------------------
+
+def test_load_state_reexecution_is_bit_exact():
+    program = benchmark_program("fib", abi="windowed", scale=1.0,
+                                seed=0)
+    sim = FunctionalSim(program, mode="blocks")
+    advance_blocks(sim, 500)
+    mid = sim.save_state()
+    final = sim.run()
+    end = sim.save_state()
+    # Rewind through load_state (which bumps the binding epoch) and
+    # replay on the now-warm block table: same stats, same state.
+    sim2 = FunctionalSim(program, mode="blocks")
+    sim2.load_state(mid)
+    sim2.run()
+    assert canon(sim2.save_state()) == canon(end)
+    assert sim2.stats.instructions + 500 == final.instructions
+
+
+def test_checkpoint_roundtrip_through_warm_cache():
+    program = benchmark_program("fib", abi="windowed", scale=1.0,
+                                seed=0)
+    # Reference: pure interpreter, run to completion.
+    ref = FunctionalSim(program, mode="interp")
+    ref.run()
+    # Warm the program's block table, checkpoint mid-run, serialise.
+    sim = CheckpointingSim(program)
+    sim.mode = "blocks"
+    fast_forward(sim, 1234)
+    ck = Checkpoint.from_dict(take_checkpoint(sim).to_dict())
+    table = block_table(program)
+    assert table.decoded > 0
+    # Restore resumes on the same (warm) table and must reach the
+    # same final state the interpreter did.
+    resumed = ck.restore(program)
+    resumed.mode = "blocks"
+    resumed.run()
+    assert canon(resumed.save_state()) == canon(ref.save_state())
+    assert (ck.instructions + resumed.stats.instructions
+            == ref.stats.instructions)
+
+
+def test_runaway_parity():
+    program = benchmark_program("fib", abi="windowed", scale=1.0,
+                                seed=0)
+    msgs, states = [], []
+    for mode in ("interp", "blocks"):
+        sim = FunctionalSim(program, mode=mode)
+        with pytest.raises(FunctionalError) as exc:
+            sim.run(max_instructions=777)
+        msgs.append(str(exc.value))
+        states.append((sim.stats, canon(sim.save_state())))
+    assert msgs[0] == msgs[1]
+    assert states[0] == states[1]
+
+
+# ---------------------------------------------------------------------------
+# interval profiling
+# ---------------------------------------------------------------------------
+
+@given(profile=profile_strategy,
+       interval_len=st.sampled_from([64, 257, 1000]))
+@settings(max_examples=6, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+def test_profile_intervals_modes_agree(profile, interval_len):
+    program = build_program(profile, "windowed")
+    a = profile_intervals(program, interval_len, mode="interp")
+    b = profile_intervals(program, interval_len, mode="blocks")
+    assert b.counts == a.counts
+    assert b.total == a.total
+    # BBV equality includes dict insertion order: downstream
+    # clustering iterates the dicts, so order is part of the contract.
+    assert len(b.bbvs) == len(a.bbvs)
+    for got, want in zip(b.bbvs, a.bbvs):
+        assert list(got.items()) == list(want.items())
+
+
+# ---------------------------------------------------------------------------
+# batched driver
+# ---------------------------------------------------------------------------
+
+def test_batched_runner_matches_sequential():
+    programs = [benchmark_program(b, abi="windowed", scale=1.0, seed=0)
+                for b in ("fib", "gzip_graphic", "twolf")]
+    expected = [FunctionalSim(p, mode="interp").run()
+                for p in programs]
+    # A small quantum forces many interleaved switches between the
+    # simulations; results must not depend on the schedule.
+    assert run_batched(programs, quantum=97) == expected
+
+    runner = BatchedRunner(quantum=97)
+    for p in programs:
+        runner.add(p)
+    runner.run()
+    assert all(s.halted for s in runner.sims)
+    matrix = runner.mix_matrix()
+    assert matrix.shape[0] == len(programs)
+    for row, stats in zip(matrix, expected):
+        assert row[0] == stats.instructions
+        assert row[1] == stats.loads
+
+
+def test_batched_runner_validates_quantum():
+    with pytest.raises(ValueError):
+        BatchedRunner(quantum=0)
+
+
+def test_batched_runaway_matches_run():
+    program = benchmark_program("fib", abi="windowed", scale=1.0,
+                                seed=0)
+    with pytest.raises(FunctionalError) as ref:
+        FunctionalSim(program, mode="interp").run(max_instructions=500)
+    with pytest.raises(FunctionalError) as exc:
+        run_batched([program], quantum=64, max_instructions=500)
+    assert str(exc.value) == str(ref.value)
+
+
+# ---------------------------------------------------------------------------
+# mode plumbing
+# ---------------------------------------------------------------------------
+
+def test_mode_validation():
+    assert resolve_functional_mode(None) in ("interp", "blocks",
+                                             "batched")
+    assert resolve_functional_mode("interp") == "interp"
+    with pytest.raises(ValueError):
+        resolve_functional_mode("nope")
+    program = benchmark_program("fib", abi="windowed", scale=1.0,
+                                seed=0)
+    with pytest.raises(ValueError):
+        FunctionalSim(program, mode="nope")
+
+
+def test_env_default(monkeypatch):
+    from repro.functional.interp import default_functional_mode
+    monkeypatch.setenv("REPRO_FUNCTIONAL_MODE", "interp")
+    assert default_functional_mode() == "interp"
+    monkeypatch.delenv("REPRO_FUNCTIONAL_MODE")
+    assert default_functional_mode() == "blocks"
+    monkeypatch.setenv("REPRO_FUNCTIONAL_MODE", "bogus")
+    with pytest.raises(ValueError):
+        default_functional_mode()
+
+
+def test_trace_forces_interp_path():
+    """A tracing simulator must keep the per-instruction path: the
+    trace callback fires once per instruction, which whole-block
+    replay could not honour."""
+    program = benchmark_program("fib", abi="windowed", scale=1.0,
+                                seed=0)
+    sim = FunctionalSim(program, trace=True, mode="blocks")
+    stats = sim.run()
+    assert len(sim.trace) == stats.instructions

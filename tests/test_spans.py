@@ -521,12 +521,39 @@ class TestBenchDiff:
         bad = diff_rows({"fib": {"cycles_per_sec": 800}}, hist, 0.15)
         assert bad[0]["regressed"]
 
+    def test_functional_rows_use_their_own_field(self):
+        from repro.experiments.benchdiff import (
+            diff_rows, history_baseline,
+        )
+        hist = [{"results": {
+            "fib": {"cycles_per_sec": 1000.0},
+            "functional-blocks": {"instructions": 5,
+                                  "instructions_per_sec": 4e6},
+        }}]
+        # A functional row never diffs against a cycles/sec baseline.
+        assert history_baseline(
+            hist, "fib", field="instructions_per_sec") is None
+        rows = diff_rows(
+            {"fib": {"cycles_per_sec": 990.0},
+             "functional-blocks": {"instructions": 5,
+                                   "instructions_per_sec": 3e6}},
+            hist, 0.15)
+        by_bench = {r["bench"]: r for r in rows}
+        assert by_bench["fib"]["field"] == "cycles_per_sec"
+        assert by_bench["fib"]["fresh_cps"] == 990.0
+        func = by_bench["functional-blocks"]
+        assert func["field"] == "instructions_per_sec"
+        assert func["baseline"] == 4e6
+        assert func["regressed"]  # 3e6 is 25% below 4e6
+
     def test_exit_codes(self, tmp_path, monkeypatch, capsys):
         from repro.experiments import benchdiff
         monkeypatch.setattr(
             benchdiff, "measure_fresh",
             lambda rounds=3: {"fib": {"cycles": 1,
                                       "cycles_per_sec": 500.0}})
+        monkeypatch.setattr(
+            benchdiff, "measure_functional", lambda rounds=3: {})
         hist = tmp_path / "hist.json"
         hist.write_text(json.dumps(self._history([1000])))
         out = tmp_path / "diff.json"
@@ -607,6 +634,8 @@ class TestCli:
             benchdiff, "measure_fresh",
             lambda rounds=3: {"fib": {"cycles": 1,
                                       "cycles_per_sec": 500.0}})
+        monkeypatch.setattr(
+            benchdiff, "measure_functional", lambda rounds=3: {})
         hist = tmp_path / "hist.json"
         hist.write_text(json.dumps(
             [{"results": {"fib": {"cycles_per_sec": 1000.0}}}]))

@@ -133,6 +133,24 @@ class TestSqliteStore:
             time.sleep(0.1)
             assert db.claim("pt", owner="successor")
 
+    def test_gc_claims(self, tmp_path):
+        with SqliteStore(tmp_path / "s.sqlite") as db:
+            assert db.claim("p1", owner="a")
+            assert db.claim("p2", owner="a")
+            assert db.claim("p3", owner="b")
+            # Nothing is older than the default stale window yet.
+            assert db.gc_claims() == 0
+            # Owner sweep ignores age entirely.
+            assert db.gc_claims(owner="a") == 2
+            assert db.stats()["claims"] == 1
+            assert db.claim("p1", owner="b")
+            # max_age_s=0 drops everything, and the sweep is audited.
+            assert db.gc_claims(max_age_s=0) == 2
+            assert db.stats()["claims"] == 0
+            rows = db.audit_rows(action="gc-claims")
+            assert [r["detail"]["removed"] for r in rows] == [2, 2]
+            assert db.claim("p3", owner="c")
+
     def test_audit_rows_limit_and_filter(self, tmp_path):
         with SqliteStore(tmp_path / "s.sqlite") as db:
             db.store("k", {"v": 1})

@@ -1,14 +1,17 @@
 #!/usr/bin/env python3
-"""Documentation checker: dead relative links and fenced doctests.
+"""Documentation checker: dead links, orphan pages, fenced doctests.
 
-Two checks over ``README.md`` and every ``docs/*.md`` page, both
+Three checks over ``README.md`` and every ``docs/*.md`` page, all
 enforced by ``tests/test_docs.py`` and the CI ``docs`` job:
 
 1. **Links** — every relative markdown link target must exist on
    disk (resolved against the linking file's directory; ``#fragment``
    suffixes are stripped).  External (``http``/``https``/``mailto``)
    and pure-anchor links are skipped.
-2. **Doctests** — every fenced ```` ```python ```` block containing
+2. **Orphans** — every ``docs/*.md`` page must be reachable from
+   ``docs/index.md`` by following relative links (breadth-first), so
+   a new page cannot silently fall outside the documentation tree.
+3. **Doctests** — every fenced ```` ```python ```` block containing
    ``>>>`` examples is executed with the standard :mod:`doctest`
    machinery, so documentation examples cannot silently rot.
 
@@ -59,6 +62,35 @@ def check_links(path: Path) -> List[str]:
     return errors
 
 
+def check_orphans(root: Path) -> List[str]:
+    """Orphan-page errors: ``docs/*.md`` files no chain of relative
+    links from ``docs/index.md`` reaches (empty = clean)."""
+    docs = root / "docs"
+    index = docs / "index.md"
+    if not index.exists():
+        return [f"missing documentation index: {index}"]
+    seen = {index.resolve()}
+    frontier = [index]
+    while frontier:
+        page = frontier.pop()
+        for match in LINK_RE.finditer(page.read_text()):
+            target = match.group(1)
+            if target.startswith(_EXTERNAL) or target.startswith("#"):
+                continue
+            rel = target.split("#", 1)[0]
+            if not rel:
+                continue
+            linked = (page.parent / rel).resolve()
+            if (linked.suffix == ".md" and linked.exists()
+                    and linked not in seen):
+                seen.add(linked)
+                frontier.append(linked)
+    return [f"{p.name}: orphan page (not reachable from "
+            f"docs/index.md)"
+            for p in sorted(docs.glob("*.md"))
+            if p.resolve() not in seen]
+
+
 def run_doctests(path: Path) -> Tuple[int, List[str]]:
     """Execute the ``>>>`` examples in ``path``'s python fences.
 
@@ -106,6 +138,9 @@ def main() -> int:
 
     ok = True
     n_links = n_examples = 0
+    for err in check_orphans(root):
+        ok = False
+        print(err, file=sys.stderr)
     for f in files:
         errors = check_links(f)
         n_links += len(LINK_RE.findall(f.read_text()))
