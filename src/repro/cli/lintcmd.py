@@ -26,6 +26,9 @@ def register(sub) -> None:
                          "(default: tools/lint_baseline.json)")
     ln.add_argument("--update-baseline", action="store_true",
                     help="rewrite the baseline from current findings")
+    ln.add_argument("--families", metavar="LETTERS", default=None,
+                    help="run only rule families with these id "
+                         "prefixes, e.g. K,F,X (default: all)")
     ln.add_argument("--rules", action="store_true",
                     help="print the rule catalog and exit")
     ln.add_argument("--root", metavar="DIR", default=None,

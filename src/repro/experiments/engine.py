@@ -292,7 +292,7 @@ class _EngineBase:
             lrecs = (load_journal(Path(ledger.path))
                      if ledger is not None else {})
             prior = merge_resume_records(jrecs, lrecs)
-        jfh = journal_path.open("a") if journal_path is not None else None
+        jfh = None
         if metrics is not None:
             metrics.set("sweep.points.total", len(pts))
 
@@ -362,6 +362,10 @@ class _EngineBase:
                 progress(prog)
 
         try:
+            # Opened inside the try so the finally below owns the
+            # handle on every path, exceptional ones included.
+            if journal_path is not None:
+                jfh = journal_path.open("a")
             to_run: List[Point] = []
             for pt in pts:
                 if pt.cacheable:
@@ -381,6 +385,10 @@ class _EngineBase:
                 to_run.append(pt)
             self._execute(to_run, emit, spans=spans, ledger=ledger)
         finally:
+            # The journal closes first: a raising ledger call must
+            # not leak the handle.
+            if jfh is not None:
+                jfh.close()
             if ledger is not None:
                 spans.end(sweep_span, **{
                     f"points.{k}": getattr(prog, k)
@@ -394,8 +402,6 @@ class _EngineBase:
                                       "failed", "timeout")},
                     elapsed=time.monotonic() - t0,
                     spans=spans.drain())
-            if jfh is not None:
-                jfh.close()
         return outcomes
 
     def _execute(self, points: Sequence[Point],

@@ -347,6 +347,20 @@ class SqliteStore(ResultStore):
                     (key, owner))
             self._conn.commit()
 
+    def data_version(self) -> int:
+        """sqlite's counter of *other* connections' committed writes.
+
+        Cheap change detection for pollers: the value moves exactly
+        when a different connection commits to this database, so a
+        scheduler can skip its waiting-point sweep until something
+        actually changed.  Commits made through *this* connection do
+        not bump it — callers keep a slow timed fallback for those.
+        """
+        with self._lock:
+            row = self._conn.execute(
+                "PRAGMA data_version").fetchone()
+        return int(row[0])
+
     def gc_claims(self, max_age_s: Optional[float] = None,
                   owner: Optional[str] = None) -> int:
         """Bulk-drop claims; returns how many rows were removed.

@@ -18,9 +18,21 @@ rationale:
 * **C001–C002 coverage** — every config field is read somewhere;
   every CLI flag is documented.
 * **E001** — no unannotated broad ``except`` handlers.
+* **K001–K003 lock discipline** — shared mutable attributes of
+  lock-owning classes stay under the lock, lock acquisition order is
+  globally consistent, and no blocking call happens while a lock is
+  held (``docs/concurrency.md`` has the execution-context model).
+* **F001–F002 fork safety** — no lock/connection/thread/socket
+  crosses a ``Process(...)`` boundary, and fork-reachable code never
+  reuses a pre-fork module-level resource.
+* **X001–X003 resource lifecycle** — started threads have a join
+  path from teardown, locally opened files/connections close on all
+  CFG paths, ``self``-attached resources close in
+  ``close()``/``stop()``/``shutdown()``.
 
 Run it as ``repro lint`` (``--json``, ``--strict``, ``--baseline``,
-``--update-baseline``, ``--rules``, ``--root``); suppress a finding
+``--update-baseline``, ``--rules``, ``--families``, ``--root``);
+suppress a finding
 in place with ``# lint: disable=ID`` or mark an intended isolation
 boundary with ``# lint: allow-broad-except``.
 """
@@ -31,10 +43,13 @@ from .core import (
     Finding, LintConfig, LintContext, Rule, SourceFile, default_rules,
     lint_tree, rule_catalog,
 )
+from .execctx import ProgramIndex, program_index
+from .flow import CFG, FunctionInfo, build_cfg, collect_function
 
 __all__ = [
-    "Finding", "LintConfig", "LintContext", "Rule", "SourceFile",
-    "default_config", "default_rules", "find_repo_root",
-    "lint_main", "lint_tree", "load_baseline", "rule_catalog",
-    "save_baseline",
+    "CFG", "Finding", "FunctionInfo", "LintConfig", "LintContext",
+    "ProgramIndex", "Rule", "SourceFile", "build_cfg",
+    "collect_function", "default_config", "default_rules",
+    "find_repo_root", "lint_main", "lint_tree", "load_baseline",
+    "program_index", "rule_catalog", "save_baseline",
 ]

@@ -13,7 +13,8 @@ from pathlib import Path
 from typing import List, Optional
 
 from .baseline import load_baseline, save_baseline
-from .core import Finding, LintConfig, lint_tree, rule_catalog
+from .core import Finding, LintConfig, default_rules, lint_tree, \
+    rule_catalog
 
 #: Repo-relative location of the checked-in baseline.
 BASELINE_REL = Path("tools") / "lint_baseline.json"
@@ -51,7 +52,14 @@ def lint_main(args) -> int:
         return 0
 
     cfg = default_config(Path(args.root) if args.root else None)
-    findings = lint_tree(cfg)
+    rules = None
+    families = getattr(args, "families", None)
+    if families:
+        wanted_fams = {f.strip().upper()
+                       for f in families.split(",") if f.strip()}
+        rules = [r for r in default_rules()
+                 if any(i[0] in wanted_fams for i in r.ids)]
+    findings = lint_tree(cfg, rules)
     if args.paths:
         wanted = [p.rstrip("/") for p in args.paths]
         findings = [f for f in findings

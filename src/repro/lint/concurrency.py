@@ -1,0 +1,292 @@
+"""Lock-discipline rules (K001–K003): shared state stays guarded.
+
+The scheduler/server stack is real concurrent code: one pump thread,
+N HTTP handler threads, and external callers all touch the same job
+maps.  The convention keeping that honest — every mutable attribute
+of a lock-owning class is only touched under ``with self._lock:`` —
+is exactly the kind of invariant reviews miss and tests rarely catch
+(a torn read needs the right interleaving).  These rules make the
+convention mechanical:
+
+* **K001** — an attribute of a lock-owning class that is written
+  outside ``__init__`` *and* reachable from two memory-sharing
+  execution contexts (main / handler threads / spawned threads; a
+  forked worker has its own copy) must be accessed under the class's
+  lock.  Private methods whose every in-class reference site already
+  holds the lock are treated as *always-locked* helpers.
+* **K002** — two locks must always be acquired in the same order: an
+  ``A → B`` nesting in one place and ``B → A`` in another is a
+  deadlock waiting for traffic.  Nesting is tracked lexically and
+  through resolved calls (a method called under lock A that takes
+  lock B counts).
+* **K003** — no blocking call while holding a lock: ``join()``,
+  queue ``get()``, ``wait()``/``recv()``/``accept()``, ``sleep()``,
+  and sqlite ``execute``/``commit`` on connection-ish receivers.  The
+  one sanctioned idiom is a class whose lock *is* the connection
+  guard (``SqliteStore``): executing on ``self.<conn>`` under the
+  same class's lock is exempt, because serialising those short
+  transactions is the lock's purpose.
+
+All three are scoped to classes that actually own a
+``threading.Lock``/``RLock``; external callers are modelled as one
+``main`` context (see ``docs/concurrency.md`` for the model and its
+edges).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, FrozenSet, Iterable, List, Optional, Set, Tuple
+
+from .core import Finding, LintContext, Rule, SourceFile
+from .execctx import (
+    MEMORY_SHARING, ClassInfo, ProgramIndex, program_index,
+)
+from .flow import CallSite, dotted
+
+#: Methods whose *name* blocks regardless of receiver.
+_BLOCKING_NAMES = frozenset({"wait", "recv", "accept", "acquire",
+                             "select"})
+#: sqlite-ish calls that block on the database lock / disk.
+_DB_CALLS = frozenset({"execute", "executemany", "executescript",
+                       "commit"})
+_DB_RECEIVERS = ("conn", "cur", "db", "sql")
+
+
+def _join_is_blocking(call: ast.Call) -> bool:
+    """``x.join()`` / ``x.join(5)`` / ``x.join(timeout=...)`` block;
+    ``sep.join(parts)`` is string building."""
+    if any(kw.arg not in ("timeout",) for kw in call.keywords):
+        return False
+    if not call.args:
+        return True
+    return len(call.args) == 1 and isinstance(call.args[0],
+                                              ast.Constant) \
+        and isinstance(call.args[0].value, (int, float))
+
+
+def _conn_aliases(info) -> Dict[str, str]:
+    """Local ``cur = self._conn``-style aliases, name -> dotted."""
+    out: Dict[str, str] = {}
+    for stmt in ast.walk(info.node):
+        if (isinstance(stmt, ast.Assign) and len(stmt.targets) == 1
+                and isinstance(stmt.targets[0], ast.Name)):
+            value = dotted(stmt.value)
+            if value is not None and value.startswith("self."):
+                out[stmt.targets[0].id] = value
+    return out
+
+
+def _blocking_verdict(site: CallSite, own_conn_exprs: Set[str],
+                      aliases: Dict[str, str]) -> Optional[str]:
+    """Why this call blocks, or ``None``."""
+    name = site.name or ""
+    if "." not in name:
+        if name == "sleep":
+            return "sleep()"
+        return None
+    recv, last = name.rsplit(".", 1)
+    recv = aliases.get(recv, recv)
+    if last == "sleep" and recv.rsplit(".", 1)[-1] == "time":
+        return "time.sleep()"
+    if last == "join" and _join_is_blocking(site.node):
+        return f"{recv}.join()"
+    if last == "get" and not site.node.args and all(
+            kw.arg in ("block", "timeout")
+            for kw in site.node.keywords):
+        return f"{recv}.get() (queue-style blocking get)"
+    if last in _BLOCKING_NAMES:
+        return f"{recv}.{last}()"
+    if last in _DB_CALLS and any(tok in recv.lower()
+                                 for tok in _DB_RECEIVERS):
+        if recv in own_conn_exprs:
+            # The lock-owns-connection idiom: this class's lock exists
+            # to serialise exactly these short transactions.
+            return None
+        return f"{recv}.{last}() (sqlite i/o)"
+    return None
+
+
+class ConcurrencyRule(Rule):
+    ids = {
+        "K001": "shared mutable attribute accessed without the "
+                "owning lock",
+        "K002": "inconsistent lock acquisition order (AB/BA "
+                "deadlock hazard)",
+        "K003": "blocking call while holding a lock",
+    }
+
+    def check_tree(self, ctx: LintContext) -> Iterable[Finding]:
+        idx = program_index(ctx)
+        for cls in idx.classes.values():
+            if not cls.lock_attrs:
+                continue
+            yield from self._k001(cls, idx)
+            yield from self._k003(cls, idx)
+        yield from self._k002(idx)
+
+    # -- K001 ---------------------------------------------------------------
+
+    @staticmethod
+    def _always_locked(cls: ClassInfo,
+                       lock_exprs: Set[str]) -> Set[str]:
+        """Private methods every one of whose in-class reference
+        sites (calls *and* bare ``self.m`` references, e.g. a
+        ``Thread(target=self.m)``) holds the lock — directly or by
+        being inside another always-locked method."""
+        sites: Dict[str, List[Tuple[str, bool]]] = {
+            m: [] for m in cls.methods}
+        for caller, info in cls.methods.items():
+            for acc in info.accesses:
+                if acc.obj == "self" and acc.attr in sites:
+                    sites[acc.attr].append(
+                        (caller, bool(acc.locks & lock_exprs)))
+        al: Set[str] = set()
+        changed = True
+        while changed:
+            changed = False
+            for m, slist in sites.items():
+                if m in al or not m.startswith("_") \
+                        or m.startswith("__") or not slist:
+                    continue
+                if all(locked or caller in al
+                       for caller, locked in slist):
+                    al.add(m)
+                    changed = True
+        return al
+
+    def _k001(self, cls: ClassInfo,
+              idx: ProgramIndex) -> Iterable[Finding]:
+        lock_exprs = {f"self.{a}" for a in cls.lock_attrs}
+        always_locked = self._always_locked(cls, lock_exprs)
+        # Locks guard, Events synchronise: both are thread-safe by
+        # construction and exempt from the "hold the lock" discipline.
+        skip_attrs = set(cls.methods) | cls.lock_attrs | {
+            a for a, m in cls.attr_markers.items() if "event" in m}
+
+        by_attr: Dict[str, List[Tuple[str, object]]] = {}
+        for mname, info in cls.methods.items():
+            for acc in info.accesses:
+                if acc.obj == "self" and acc.attr not in skip_attrs:
+                    by_attr.setdefault(acc.attr, []).append(
+                        (mname, acc))
+
+        lockname = "self." + sorted(cls.lock_attrs)[0]
+        for attr, accs in sorted(by_attr.items()):
+            if not any(a.kind in ("write", "mutate")
+                       and m != "__init__" for m, a in accs):
+                continue  # effectively immutable after construction
+            ctxs: Set[str] = set()
+            for m, _ in accs:
+                if m != "__init__":
+                    ctxs |= MEMORY_SHARING(
+                        idx.contexts_of(f"{cls.fq}.{m}"))
+            if len(ctxs) < 2:
+                continue  # single-context attribute
+            seen: Set[Tuple[str, int]] = set()
+            for m, acc in accs:
+                if m == "__init__" or m in always_locked:
+                    continue
+                mctx = idx.contexts_of(f"{cls.fq}.{m}")
+                if mctx and not MEMORY_SHARING(mctx):
+                    continue  # runs only in a forked copy
+                if acc.locks & lock_exprs:
+                    continue
+                if (m, acc.line) in seen:
+                    continue
+                seen.add((m, acc.line))
+                yield cls.src.finding(
+                    "K001", acc.line,
+                    f"{cls.name}.{attr} is shared across contexts "
+                    f"({', '.join(sorted(ctxs))}) but {cls.name}."
+                    f"{m}() touches it without {lockname}",
+                    f"wrap the access in 'with {lockname}:'")
+
+    # -- K002 ---------------------------------------------------------------
+
+    @staticmethod
+    def _held_ids(locks: FrozenSet[str], cls: ClassInfo) -> Set[str]:
+        return {f"{cls.name}.{l[5:]}" for l in locks
+                if l.startswith("self.") and l[5:] in cls.lock_attrs}
+
+    def _k002(self, idx: ProgramIndex) -> Iterable[Finding]:
+        # Locks each function acquires anywhere in its body, closed
+        # transitively over resolved calls.
+        acquires: Dict[str, Set[str]] = {}
+        for fq, info in idx.functions.items():
+            cls = idx.cls_of[fq]
+            ids: Set[str] = set()
+            if cls is not None:
+                for acq in info.acquisitions:
+                    if acq.name.startswith("self.") \
+                            and acq.name[5:] in cls.lock_attrs:
+                        ids.add(f"{cls.name}.{acq.name[5:]}")
+            acquires[fq] = ids
+        changed = True
+        while changed:
+            changed = False
+            for fq, callees in idx.calls_out.items():
+                for callee in callees:
+                    extra = acquires.get(callee, set()) - acquires[fq]
+                    if extra:
+                        acquires[fq] |= extra
+                        changed = True
+
+        edges: Dict[Tuple[str, str],
+                    Tuple[SourceFile, int]] = {}
+        for fq, info in idx.functions.items():
+            cls = idx.cls_of[fq]
+            if cls is None:
+                continue
+            src = idx.src_of[fq]
+            for acq in info.acquisitions:
+                if not (acq.name.startswith("self.")
+                        and acq.name[5:] in cls.lock_attrs):
+                    continue
+                b = f"{cls.name}.{acq.name[5:]}"
+                for a in self._held_ids(acq.held, cls):
+                    if a != b:
+                        edges.setdefault((a, b), (src, acq.line))
+            for site, callee in idx.resolved_calls.get(fq, ()):
+                held = self._held_ids(site.locks, cls)
+                if not held:
+                    continue
+                for b in acquires.get(callee, ()):
+                    for a in held:
+                        if a != b:
+                            edges.setdefault((a, b),
+                                             (src, site.line))
+
+        for (a, b), (src, line) in sorted(
+                edges.items(), key=lambda kv: kv[0]):
+            if (b, a) in edges and a < b:
+                osrc, oline = edges[(b, a)]
+                yield src.finding(
+                    "K002", line,
+                    f"lock order {a} -> {b} here conflicts with "
+                    f"{b} -> {a} at {osrc.display}:{oline}",
+                    "pick one acquisition order and use it "
+                    "everywhere")
+
+    # -- K003 ---------------------------------------------------------------
+
+    def _k003(self, cls: ClassInfo,
+              idx: ProgramIndex) -> Iterable[Finding]:
+        lock_exprs = {f"self.{a}" for a in cls.lock_attrs}
+        own_conns = {f"self.{a}" for a, m in cls.attr_markers.items()
+                     if "conn" in m}
+        for mname, info in cls.methods.items():
+            aliases = _conn_aliases(info)
+            for site in info.calls:
+                held = site.locks & lock_exprs
+                if not held:
+                    continue
+                why = _blocking_verdict(site, own_conns, aliases)
+                if why is not None:
+                    yield cls.src.finding(
+                        "K003", site.line,
+                        f"{cls.name}.{mname}() holds "
+                        f"{sorted(held)[0]} across a blocking call: "
+                        f"{why}",
+                        "collect the work under the lock, block "
+                        "after releasing it")

@@ -343,16 +343,19 @@ class Rule:
 
 def default_rules() -> Tuple[Rule, ...]:
     """Fresh instances of every built-in rule family."""
-    from . import coverage, determinism, exceptions, hotpath, layering
+    from . import concurrency, coverage, determinism, exceptions
+    from . import forksafety, hotpath, layering, lifecycle
     from . import schema as schema_rule
     return (determinism.DeterminismRule(), layering.LayeringRule(),
             hotpath.HotPathRule(), schema_rule.SchemaRule(),
-            coverage.CoverageRule(), exceptions.BroadExceptRule())
+            coverage.CoverageRule(), exceptions.BroadExceptRule(),
+            concurrency.ConcurrencyRule(), forksafety.ForkSafetyRule(),
+            lifecycle.LifecycleRule())
 
 
 def rule_catalog() -> Dict[str, str]:
     """id -> summary for every built-in rule (plus F000)."""
-    catalog: Dict[str, str] = {"F000": "file does not parse"}
+    catalog: Dict[str, str] = {"F000": "file does not parse"}  # predates the F (fork) family; kept for baseline compat
     for rule in default_rules():
         catalog.update(rule.ids)
     return dict(sorted(catalog.items()))

@@ -1,0 +1,458 @@
+"""Whole-program execution-context analysis for the K/F/X rules.
+
+The concurrency rules need one cross-file fact the per-function walk
+cannot provide: *which execution context runs this function*.  This
+module computes it.  Entry points are discovered syntactically —
+
+* ``threading.Thread(target=X)`` marks ``X`` as a thread entry
+  (context label ``thread:<name>``),
+* ``Process(target=X)`` (any multiprocessing context) marks ``X`` as
+  a fork entry (label ``fork`` — a *separate address space*, so it
+  never counts toward memory-sharing),
+* ``do_*`` methods of ``BaseHTTPRequestHandler`` subclasses run on
+  the server's per-request threads (label ``handler``),
+* every public function/method is callable from the outside and gets
+  the ambient ``main`` label —
+
+and labels propagate over a best-effort resolved call graph: calls to
+``self.m``, to sibling module functions, and to methods of attributes
+whose class is statically known (direct construction, annotated
+constructor parameters, annotated ``@property`` returns).  The result
+is a :class:`ProgramIndex`: per-class attribute typing (including
+which attributes hold locks, threads, connections, files, sockets),
+per-function :class:`~repro.lint.flow.FunctionInfo`, and the
+``function -> {context labels}`` map the rules consume.
+
+Everything here is approximate in the safe direction for a linter:
+unresolvable calls contribute no edges (no spurious contexts), and
+unresolvable types contribute no markers (no spurious findings).
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set, Tuple
+
+from .core import LintContext, SourceFile
+from .flow import CallSite, FunctionInfo, collect_function, dotted
+
+__all__ = [
+    "ClassInfo", "ProgramIndex", "program_index", "classify_constructor",
+    "MEMORY_SHARING", "UNSAFE_MARKERS",
+]
+
+#: Resource markers a ``self.X = <constructor>`` assignment can earn.
+#: ``pipe`` (multiprocessing Pipe ends) and ``event`` are tracked but
+#: classed as safe: they are designed to cross thread/fork boundaries.
+UNSAFE_MARKERS = frozenset({"lock", "conn", "thread", "file", "socket"})
+
+#: Context labels that share one address space (``fork`` does not).
+def MEMORY_SHARING(contexts: Set[str]) -> Set[str]:
+    return {c for c in contexts if c != "fork"}
+
+
+def classify_constructor(call: ast.Call) -> Optional[str]:
+    """The resource marker a constructor call earns, or ``None``."""
+    name = dotted(call.func) or ""
+    last = name.rsplit(".", 1)[-1]
+    if last in ("Lock", "RLock"):
+        return "lock"
+    if last == "Thread":
+        return "thread"
+    if last == "Event":
+        return "event"
+    if last == "Pipe":
+        return "pipe"
+    if name == "sqlite3.connect":
+        return "conn"
+    if last == "open" or name == "open":
+        return "file"
+    if name in ("socket.socket", "socket.create_connection"):
+        return "socket"
+    return None
+
+
+@dataclass
+class ClassInfo:
+    """One class: its methods, attribute typing, and lock set."""
+
+    module: str
+    name: str
+    node: ast.ClassDef
+    src: SourceFile
+    bases: List[str] = field(default_factory=list)
+    methods: Dict[str, FunctionInfo] = field(default_factory=dict)
+    #: attr -> resource markers (see :func:`classify_constructor`).
+    attr_markers: Dict[str, Set[str]] = field(default_factory=dict)
+    #: attr -> fully-qualified in-package classes it may hold.
+    attr_classes: Dict[str, Set[str]] = field(default_factory=dict)
+    #: attr -> line of the assignment that earned the first marker.
+    attr_lines: Dict[str, int] = field(default_factory=dict)
+
+    @property
+    def fq(self) -> str:
+        return f"{self.module}.{self.name}"
+
+    @property
+    def lock_attrs(self) -> Set[str]:
+        return {a for a, m in self.attr_markers.items() if "lock" in m}
+
+    def unsafe_attrs(self, idx: "ProgramIndex",
+                     transitive: bool = True) -> Dict[str, str]:
+        """attr -> why it must not cross a fork boundary."""
+        out: Dict[str, str] = {}
+        for attr, markers in self.attr_markers.items():
+            bad = markers & UNSAFE_MARKERS
+            if bad:
+                out[attr] = sorted(bad)[0]
+        if transitive:
+            for attr, classes in self.attr_classes.items():
+                for cfq in classes:
+                    inner = idx.classes.get(cfq)
+                    if inner is not None and inner.unsafe_attrs(
+                            idx, transitive=False):
+                        out.setdefault(attr, f"instance of {inner.name}")
+        return out
+
+
+@dataclass
+class ProgramIndex:
+    """The whole package, indexed for the concurrency rules."""
+
+    classes: Dict[str, ClassInfo] = field(default_factory=dict)
+    by_class_name: Dict[str, List[ClassInfo]] = field(
+        default_factory=dict)
+    #: fq function name (``module.Class.method`` / ``module.func``).
+    functions: Dict[str, FunctionInfo] = field(default_factory=dict)
+    src_of: Dict[str, SourceFile] = field(default_factory=dict)
+    cls_of: Dict[str, ClassInfo] = field(default_factory=dict)
+    module_funcs: Dict[str, List[str]] = field(default_factory=dict)
+    #: resolved call graph, fq -> fq.
+    calls_out: Dict[str, Set[str]] = field(default_factory=dict)
+    #: per-site resolution, fq -> [(site, callee fq)] — for rules
+    #: that need the held-lock set at the *call site* (K002).
+    resolved_calls: Dict[str, List[Tuple[CallSite, str]]] = field(
+        default_factory=dict)
+    #: fq -> execution context labels.
+    contexts: Dict[str, Set[str]] = field(default_factory=dict)
+    #: fq functions used as ``Process(target=...)`` entries.
+    fork_entries: Set[str] = field(default_factory=set)
+
+    # -- lookups -----------------------------------------------------------
+
+    def class_by_simple_name(self, name: str) -> Optional[ClassInfo]:
+        """The unique in-package class called ``name``, if any."""
+        hits = self.by_class_name.get(name, [])
+        return hits[0] if len(hits) == 1 else None
+
+    def method_fq(self, cls: ClassInfo, meth: str,
+                  _seen: Optional[Set[str]] = None) -> Optional[str]:
+        """``cls.meth`` resolved through in-package base classes."""
+        seen = _seen or set()
+        if cls.fq in seen:
+            return None
+        seen.add(cls.fq)
+        if meth in cls.methods:
+            return f"{cls.fq}.{meth}"
+        for base in cls.bases:
+            binfo = self.class_by_simple_name(base.rsplit(".", 1)[-1])
+            if binfo is not None:
+                fq = self.method_fq(binfo, meth, seen)
+                if fq is not None:
+                    return fq
+        return None
+
+    def contexts_of(self, fq: str) -> Set[str]:
+        return self.contexts.get(fq, set())
+
+
+def _ann_class_name(ann: Optional[ast.AST]) -> Optional[str]:
+    """The class simple name in an annotation, unwrapping
+    ``Optional[C]`` / ``"C"`` string forms."""
+    if ann is None:
+        return None
+    if isinstance(ann, ast.Constant) and isinstance(ann.value, str):
+        inner = ann.value.strip()
+        if inner.startswith("Optional[") and inner.endswith("]"):
+            inner = inner[len("Optional["):-1]
+        return inner.split(".")[-1] if inner.isidentifier() or \
+            "." in inner else None
+    if isinstance(ann, ast.Subscript):
+        base = dotted(ann.value) or ""
+        if base.rsplit(".", 1)[-1] == "Optional":
+            return _ann_class_name(ann.slice)
+        return None
+    name = dotted(ann)
+    return name.rsplit(".", 1)[-1] if name else None
+
+
+def _is_property(fn: ast.AST) -> bool:
+    return any(isinstance(d, ast.Name) and d.id == "property"
+               for d in getattr(fn, "decorator_list", []))
+
+
+def _spawn_kind(site: CallSite) -> Optional[str]:
+    """``thread`` / ``fork`` when the call constructs a Thread or a
+    Process (any multiprocessing context object)."""
+    name = site.name or ""
+    last = name.rsplit(".", 1)[-1]
+    if last == "Thread":
+        return "thread"
+    if last == "Process":
+        return "fork"
+    return None
+
+
+def _spawn_target(site: CallSite) -> Optional[ast.AST]:
+    for kw in site.node.keywords:
+        if kw.arg == "target":
+            return kw.value
+    return None
+
+
+class _IndexBuilder:
+    def __init__(self, ctx: LintContext) -> None:
+        self.ctx = ctx
+        self.idx = ProgramIndex()
+
+    # -- pass 1: functions + classes ---------------------------------------
+
+    def collect(self) -> None:
+        idx = self.idx
+        for src in self.ctx.files:
+            if src.parse_error is not None:
+                continue
+            for node in getattr(src.tree, "body", []):
+                if isinstance(node, (ast.FunctionDef,
+                                     ast.AsyncFunctionDef)):
+                    self._add_function(src, node, None)
+                elif isinstance(node, ast.ClassDef):
+                    info = ClassInfo(
+                        module=src.module, name=node.name, node=node,
+                        src=src,
+                        bases=[d for d in map(dotted, node.bases)
+                               if d is not None])
+                    idx.classes[info.fq] = info
+                    idx.by_class_name.setdefault(
+                        node.name, []).append(info)
+                    for sub in node.body:
+                        if isinstance(sub, (ast.FunctionDef,
+                                            ast.AsyncFunctionDef)):
+                            self._add_function(src, sub, info)
+
+    def _add_function(self, src: SourceFile, fn, cls: Optional[ClassInfo]
+                      ) -> None:
+        info = collect_function(fn, cls.node if cls else None)
+        if cls is not None:
+            fq = f"{cls.fq}.{fn.name}"
+            cls.methods[fn.name] = info
+        else:
+            fq = f"{src.module}.{fn.name}"
+            self.idx.module_funcs.setdefault(fn.name, []).append(fq)
+        self.idx.functions[fq] = info
+        self.idx.src_of[fq] = src
+        self.idx.cls_of[fq] = cls
+
+    # -- pass 2: attribute typing ------------------------------------------
+
+    def type_attrs(self) -> None:
+        for cls in self.idx.classes.values():
+            for meth in cls.methods.values():
+                self._attrs_from_method(cls, meth)
+            for name, meth in cls.methods.items():
+                if _is_property(meth.node):
+                    cname = _ann_class_name(meth.node.returns)
+                    self._note_class(cls, name, cname,
+                                     meth.node.lineno)
+
+    def _attrs_from_method(self, cls: ClassInfo,
+                           meth: FunctionInfo) -> None:
+        ann_of = {p.arg: _ann_class_name(p.annotation)
+                  for p in meth.params()}
+        for stmt in ast.walk(meth.node):
+            if isinstance(stmt, ast.Assign):
+                targets, value = stmt.targets, stmt.value
+            elif isinstance(stmt, ast.AnnAssign) \
+                    and stmt.value is not None:
+                targets, value = [stmt.target], stmt.value
+            else:
+                continue
+            for t in targets:
+                if not (isinstance(t, ast.Attribute)
+                        and isinstance(t.value, ast.Name)
+                        and t.value.id == "self"):
+                    continue
+                if isinstance(value, ast.Call):
+                    marker = classify_constructor(value)
+                    if marker is not None:
+                        cls.attr_markers.setdefault(
+                            t.attr, set()).add(marker)
+                        cls.attr_lines.setdefault(t.attr, stmt.lineno)
+                    cname = (dotted(value.func) or "").rsplit(
+                        ".", 1)[-1]
+                    self._note_class(cls, t.attr, cname, stmt.lineno)
+                elif isinstance(value, ast.Name):
+                    self._note_class(cls, t.attr,
+                                     ann_of.get(value.id), stmt.lineno)
+
+    def _note_class(self, cls: ClassInfo, attr: str,
+                    cname: Optional[str], line: int) -> None:
+        if not cname:
+            return
+        target = self.idx.class_by_simple_name(cname)
+        if target is not None:
+            cls.attr_classes.setdefault(attr, set()).add(target.fq)
+            cls.attr_lines.setdefault(attr, line)
+
+    # -- pass 3: call graph -------------------------------------------------
+
+    def link_calls(self) -> None:
+        for fq, info in self.idx.functions.items():
+            out = self.idx.calls_out.setdefault(fq, set())
+            sites = self.idx.resolved_calls.setdefault(fq, [])
+            cls = self.idx.cls_of[fq]
+            local_types = self._local_types(info)
+            for site in info.calls:
+                callee = self._resolve_call(fq, cls, info, site,
+                                            local_types)
+                if callee is not None:
+                    out.add(callee)
+                    sites.append((site, callee))
+
+    def _local_types(self, info: FunctionInfo) -> Dict[str, ClassInfo]:
+        """Variable -> class for annotated params and direct
+        constructions (``x = ClassName(...)``)."""
+        env: Dict[str, ClassInfo] = {}
+        for p in info.params():
+            cname = _ann_class_name(p.annotation)
+            target = self.idx.class_by_simple_name(cname) \
+                if cname else None
+            if target is not None:
+                env[p.arg] = target
+        for stmt in ast.walk(info.node):
+            if (isinstance(stmt, ast.Assign)
+                    and len(stmt.targets) == 1
+                    and isinstance(stmt.targets[0], ast.Name)
+                    and isinstance(stmt.value, ast.Call)):
+                cname = (dotted(stmt.value.func) or "").rsplit(
+                    ".", 1)[-1]
+                target = self.idx.class_by_simple_name(cname)
+                if target is not None:
+                    env[stmt.targets[0].id] = target
+        return env
+
+    def _resolve_call(self, fq: str, cls: Optional[ClassInfo],
+                      info: FunctionInfo, site: CallSite,
+                      local_types: Dict[str, ClassInfo]
+                      ) -> Optional[str]:
+        name = site.name
+        if name is None:
+            return None
+        parts = name.split(".")
+        if len(parts) == 1:
+            # A sibling module function, or an imported in-package
+            # function with a unique simple name.
+            module = self.idx.src_of[fq].module
+            sibling = f"{module}.{name}"
+            if sibling in self.idx.functions:
+                return sibling
+            hits = self.idx.module_funcs.get(name, [])
+            return hits[0] if len(hits) == 1 else None
+        if parts[0] == "self" and cls is not None:
+            if len(parts) == 2:
+                return self.idx.method_fq(cls, parts[1])
+            if len(parts) == 3:
+                # self.<attr>.<method>: through the attribute's type.
+                for cfq in cls.attr_classes.get(parts[1], ()):
+                    target = self.idx.classes.get(cfq)
+                    if target is not None:
+                        got = self.idx.method_fq(target, parts[2])
+                        if got is not None:
+                            return got
+            return None
+        if len(parts) == 2 and parts[0] in local_types:
+            return self.idx.method_fq(local_types[parts[0]], parts[1])
+        return None
+
+    # -- pass 4: entries + propagation --------------------------------------
+
+    def _entry_fq(self, fq: str, target: ast.AST) -> Optional[str]:
+        """Resolve a spawn ``target=`` expression to a function fq."""
+        cls = self.idx.cls_of[fq]
+        name = dotted(target)
+        if name is None:
+            return None
+        parts = name.split(".")
+        if parts[0] == "self" and cls is not None and len(parts) == 2:
+            return self.idx.method_fq(cls, parts[1])
+        if len(parts) == 1:
+            module = self.idx.src_of[fq].module
+            sibling = f"{module}.{parts[0]}"
+            if sibling in self.idx.functions:
+                return sibling
+            hits = self.idx.module_funcs.get(parts[0], [])
+            return hits[0] if len(hits) == 1 else None
+        return None
+
+    def find_entries(self) -> List[Tuple[str, str]]:
+        """(entry fq, context label) pairs."""
+        entries: List[Tuple[str, str]] = []
+        for fq, info in self.idx.functions.items():
+            for site in info.calls:
+                kind = _spawn_kind(site)
+                if kind is None:
+                    continue
+                target = _spawn_target(site)
+                if target is None:
+                    continue
+                tfq = self._entry_fq(fq, target)
+                if tfq is None:
+                    continue
+                if kind == "fork":
+                    entries.append((tfq, "fork"))
+                    self.idx.fork_entries.add(tfq)
+                else:
+                    entries.append(
+                        (tfq, f"thread:{tfq.rsplit('.', 1)[-1]}"))
+        for cls in self.idx.classes.values():
+            if any(b.rsplit(".", 1)[-1] == "BaseHTTPRequestHandler"
+                   for b in cls.bases):
+                for name in cls.methods:
+                    if name.startswith("do_"):
+                        entries.append((f"{cls.fq}.{name}", "handler"))
+        for fq in self.idx.functions:
+            simple = fq.rsplit(".", 1)[-1]
+            public = not simple.startswith("_") or (
+                simple.startswith("__") and simple.endswith("__"))
+            if public:
+                entries.append((fq, "main"))
+        return entries
+
+    def propagate(self) -> None:
+        idx = self.idx
+        worklist = list(self.find_entries())
+        while worklist:
+            fq, label = worklist.pop()
+            have = idx.contexts.setdefault(fq, set())
+            if label in have:
+                continue
+            have.add(label)
+            for callee in idx.calls_out.get(fq, ()):
+                worklist.append((callee, label))
+
+    def build(self) -> ProgramIndex:
+        self.collect()
+        self.type_attrs()
+        self.link_calls()
+        self.propagate()
+        return self.idx
+
+
+def program_index(ctx: LintContext) -> ProgramIndex:
+    """The (cached) :class:`ProgramIndex` for one lint context."""
+    idx = getattr(ctx, "_concurrency_index", None)
+    if idx is None:
+        idx = _IndexBuilder(ctx).build()
+        ctx._concurrency_index = idx
+    return idx

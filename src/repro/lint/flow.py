@@ -1,0 +1,398 @@
+"""Intra-procedural flow analysis for the concurrency rule families.
+
+Two building blocks the K/F/X rules share:
+
+* :func:`collect_function` — one linear walk of a function body that
+  records, with the lexical ``with``-context in force at each site,
+  every attribute access (read / write / container mutation), every
+  call site, every ``with`` acquisition, and the name loads/stores.
+  The ``with`` stack is how lock discipline becomes checkable: an
+  access whose ``locks`` set contains ``self._lock`` happened inside
+  ``with self._lock:``.
+* :func:`build_cfg` — a per-function control-flow graph over the raw
+  statement list, with *separate* normal and exception edges.  Every
+  statement that can raise gets an edge to the nearest enclosing
+  handler / ``finally`` (or the function exit), which is what lets the
+  resource-lifecycle rule ask "does every path from this ``open()`` to
+  the exit pass a ``close()``" and mean it, exceptional paths
+  included.
+
+Both are deliberately syntactic: no type inference happens here (the
+whole-program side lives in :mod:`repro.lint.execctx`), nested
+``def``/``lambda`` bodies are separate scopes and are not descended
+into, and anything that cannot be resolved to a dotted name is
+skipped rather than guessed at.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Iterator, List, Optional, Set, Tuple
+
+__all__ = [
+    "EXIT", "AttrAccess", "CallSite", "LockAcquire", "FunctionInfo",
+    "CFG", "build_cfg", "collect_function", "dotted", "iter_functions",
+    "may_raise",
+]
+
+#: Method names that mutate their receiver in place — a call like
+#: ``self.jobs.pop(k)`` is a *write* to ``self.jobs`` for lock
+#: discipline purposes.
+MUTATORS = frozenset({
+    "append", "add", "clear", "discard", "extend", "insert", "pop",
+    "popitem", "remove", "setdefault", "sort", "update",
+})
+
+
+def dotted(node: ast.AST) -> Optional[str]:
+    """Best-effort dotted name of an expression (``self._lock``,
+    ``threading.Thread``); ``None`` for anything non-trivial."""
+    if isinstance(node, ast.Name):
+        return node.id
+    if isinstance(node, ast.Attribute):
+        base = dotted(node.value)
+        return f"{base}.{node.attr}" if base else None
+    return None
+
+
+@dataclass(frozen=True)
+class AttrAccess:
+    """One attribute touch: ``<obj>.<attr>`` at ``line``.
+
+    ``kind`` is ``read``, ``write`` (plain/ann/aug assignment or
+    ``del``), or ``mutate`` (subscript store/delete or a
+    :data:`MUTATORS` method call).  ``locks`` is the set of dotted
+    ``with``-context expressions lexically in force at the site.
+    """
+
+    obj: str
+    attr: str
+    line: int
+    kind: str
+    locks: FrozenSet[str]
+
+
+@dataclass(frozen=True)
+class CallSite:
+    """One call expression with the ``with``-context at the site."""
+
+    name: Optional[str]  #: dotted callee, e.g. ``self._resolve``
+    node: ast.Call
+    line: int
+    locks: FrozenSet[str]
+
+
+@dataclass(frozen=True)
+class LockAcquire:
+    """One ``with <expr>:`` entry with the contexts already held."""
+
+    name: str
+    held: FrozenSet[str]
+    line: int
+
+
+@dataclass
+class FunctionInfo:
+    """Everything one walk of a function body collects."""
+
+    name: str
+    node: ast.AST  # FunctionDef | AsyncFunctionDef
+    cls: Optional[ast.ClassDef] = None
+    accesses: List[AttrAccess] = field(default_factory=list)
+    calls: List[CallSite] = field(default_factory=list)
+    acquisitions: List[LockAcquire] = field(default_factory=list)
+    #: name -> first line it is read at (module-global candidates).
+    name_loads: Dict[str, int] = field(default_factory=dict)
+    name_stores: Set[str] = field(default_factory=set)
+
+    @property
+    def qualname(self) -> str:
+        return f"{self.cls.name}.{self.name}" if self.cls is not None \
+            else self.name
+
+    def params(self) -> List[ast.arg]:
+        a = self.node.args
+        return [*a.posonlyargs, *a.args, *a.kwonlyargs]
+
+
+class _Collector(ast.NodeVisitor):
+    """The single-pass walker behind :func:`collect_function`."""
+
+    def __init__(self, info: FunctionInfo) -> None:
+        self.info = info
+        self._held: List[str] = []
+
+    def _locks(self) -> FrozenSet[str]:
+        return frozenset(self._held)
+
+    # Nested scopes are not this function's flow.
+    def visit_FunctionDef(self, node: ast.AST) -> None:
+        pass
+
+    visit_AsyncFunctionDef = visit_FunctionDef
+    visit_Lambda = visit_FunctionDef
+    visit_ClassDef = visit_FunctionDef
+
+    def _visit_with(self, node) -> None:
+        entered = 0
+        for item in node.items:
+            self.visit(item.context_expr)
+            if item.optional_vars is not None:
+                self.visit(item.optional_vars)
+            name = dotted(item.context_expr)
+            if name is not None:
+                self.info.acquisitions.append(LockAcquire(
+                    name, self._locks(), item.context_expr.lineno))
+                self._held.append(name)
+                entered += 1
+        for stmt in node.body:
+            self.visit(stmt)
+        del self._held[len(self._held) - entered:]
+
+    visit_With = _visit_with
+    visit_AsyncWith = _visit_with
+
+    def visit_Attribute(self, node: ast.Attribute) -> None:
+        base = dotted(node.value)
+        if base is not None:
+            kind = "write" if isinstance(node.ctx, (ast.Store, ast.Del)) \
+                else "read"
+            self.info.accesses.append(AttrAccess(
+                base, node.attr, node.lineno, kind, self._locks()))
+        self.generic_visit(node)
+
+    def visit_Subscript(self, node: ast.Subscript) -> None:
+        # ``self.jobs[k] = v`` / ``del self.jobs[k]`` mutate the
+        # container held in the attribute.
+        if isinstance(node.ctx, (ast.Store, ast.Del)) \
+                and isinstance(node.value, ast.Attribute):
+            base = dotted(node.value.value)
+            if base is not None:
+                self.info.accesses.append(AttrAccess(
+                    base, node.value.attr, node.lineno, "mutate",
+                    self._locks()))
+        self.generic_visit(node)
+
+    def visit_Call(self, node: ast.Call) -> None:
+        self.info.calls.append(CallSite(
+            dotted(node.func), node, node.lineno, self._locks()))
+        func = node.func
+        if (isinstance(func, ast.Attribute) and func.attr in MUTATORS
+                and isinstance(func.value, ast.Attribute)):
+            base = dotted(func.value.value)
+            if base is not None:
+                self.info.accesses.append(AttrAccess(
+                    base, func.value.attr, node.lineno, "mutate",
+                    self._locks()))
+        self.generic_visit(node)
+
+    def visit_Name(self, node: ast.Name) -> None:
+        if isinstance(node.ctx, ast.Load):
+            self.info.name_loads.setdefault(node.id, node.lineno)
+        else:
+            self.info.name_stores.add(node.id)
+
+
+def collect_function(fn, cls: Optional[ast.ClassDef] = None
+                     ) -> FunctionInfo:
+    """Walk one function body into a :class:`FunctionInfo`."""
+    info = FunctionInfo(name=fn.name, node=fn, cls=cls)
+    collector = _Collector(info)
+    for stmt in fn.body:
+        collector.visit(stmt)
+    return info
+
+
+def iter_functions(tree: ast.AST) -> Iterator[
+        Tuple[ast.AST, Optional[ast.ClassDef]]]:
+    """Module-level functions and class methods of ``tree`` as
+    ``(function, owning class or None)`` — one level, no nesting."""
+    for node in getattr(tree, "body", []):
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            yield node, None
+        elif isinstance(node, ast.ClassDef):
+            for sub in node.body:
+                if isinstance(sub, (ast.FunctionDef,
+                                    ast.AsyncFunctionDef)):
+                    yield sub, node
+
+
+# ---------------------------------------------------------------------------
+# control-flow graphs
+# ---------------------------------------------------------------------------
+
+#: The single synthetic exit node every path ends at.
+EXIT = -1
+
+
+@dataclass
+class CFG:
+    """A per-function CFG: statement nodes, normal edges, exception
+    edges.  Node ``0`` is the synthetic entry, :data:`EXIT` the
+    synthetic exit; compound statements contribute one *header* node
+    (their test / context / try anchor) plus one node per nested
+    statement."""
+
+    stmts: Dict[int, Optional[ast.AST]] = field(default_factory=dict)
+    flow: Dict[int, Set[int]] = field(default_factory=dict)
+    exc: Dict[int, Set[int]] = field(default_factory=dict)
+
+    def succ(self, n: int, exceptional: bool = True) -> Set[int]:
+        out = set(self.flow.get(n, ()))
+        if exceptional:
+            out |= self.exc.get(n, set())
+        return out
+
+
+def _innocuous(expr: Optional[ast.AST]) -> bool:
+    """Expressions that cannot raise: constants, bare names, and
+    tuples/lists of them."""
+    if expr is None or isinstance(expr, (ast.Constant, ast.Name)):
+        return True
+    if isinstance(expr, (ast.Tuple, ast.List)):
+        return all(_innocuous(e) for e in expr.elts)
+    return False
+
+
+def may_raise(stmt: Optional[ast.AST]) -> bool:
+    """Whether a statement can raise.  Deliberately coarse: only
+    statements that are *provably* inert (``pass``, constant/name
+    assignments to plain names) are exempt; everything else gets an
+    exception edge."""
+    if stmt is None or isinstance(stmt, (ast.Pass, ast.Break,
+                                         ast.Continue, ast.Global,
+                                         ast.Nonlocal)):
+        return False
+    if isinstance(stmt, ast.Assign):
+        return not (all(isinstance(t, ast.Name) for t in stmt.targets)
+                    and _innocuous(stmt.value))
+    if isinstance(stmt, ast.AnnAssign):
+        return not (isinstance(stmt.target, ast.Name)
+                    and _innocuous(stmt.value))
+    if isinstance(stmt, ast.Return):
+        return not _innocuous(stmt.value)
+    return True
+
+
+@dataclass
+class _Loop:
+    head: int
+    breaks: Set[int] = field(default_factory=set)
+
+
+class _Builder:
+    def __init__(self) -> None:
+        self.cfg = CFG()
+        self.cfg.stmts[EXIT] = None
+        self._n = 0
+
+    def node(self, stmt: Optional[ast.AST]) -> int:
+        self._n += 1
+        self.cfg.stmts[self._n] = stmt
+        return self._n
+
+    def flow_edge(self, a: int, b: int) -> None:
+        self.cfg.flow.setdefault(a, set()).add(b)
+
+    def exc_edge(self, a: int, targets: Set[int]) -> None:
+        self.cfg.exc.setdefault(a, set()).update(targets)
+
+    def block(self, body, preds: Set[int], exc: Set[int],
+              loops: List[_Loop]) -> Set[int]:
+        for stmt in body:
+            preds = self.stmt(stmt, preds, exc, loops)
+        return preds
+
+    def stmt(self, s: ast.AST, preds: Set[int], exc: Set[int],
+             loops: List[_Loop]) -> Set[int]:
+        n = self.node(s)
+        for p in preds:
+            self.flow_edge(p, n)
+
+        if isinstance(s, ast.If):
+            self.exc_edge(n, exc)
+            body = self.block(s.body, {n}, exc, loops)
+            orelse = self.block(s.orelse, {n}, exc, loops)
+            return body | orelse
+
+        if isinstance(s, (ast.While, ast.For, ast.AsyncFor)):
+            self.exc_edge(n, exc)
+            loop = _Loop(head=n)
+            body = self.block(s.body, {n}, exc, loops + [loop])
+            for e in body:
+                self.flow_edge(e, n)  # back edge
+            if s.orelse:
+                out = self.block(s.orelse, {n}, exc, loops)
+            else:
+                out = {n}
+            return out | loop.breaks
+
+        if isinstance(s, (ast.With, ast.AsyncWith)):
+            self.exc_edge(n, exc)
+            return self.block(s.body, {n}, exc, loops)
+
+        if isinstance(s, ast.Try) or (hasattr(ast, "TryStar")
+                                      and isinstance(s, ast.TryStar)):
+            handler_nodes = [self.node(h) for h in s.handlers]
+            fin_head = self.node(None) if s.finalbody else None
+            # Exceptions inside the body reach the handlers; with a
+            # finally they also reach it directly (unmatched types).
+            inner_exc = set(handler_nodes)
+            if fin_head is not None:
+                inner_exc.add(fin_head)
+            if not inner_exc:
+                inner_exc = set(exc)
+            handler_exc = {fin_head} if fin_head is not None else set(exc)
+            body_exits = self.block(s.body, {n}, inner_exc, loops)
+            h_exits: Set[int] = set()
+            for hn, h in zip(handler_nodes, s.handlers):
+                h_exits |= self.block(h.body, {hn}, handler_exc, loops)
+            if s.orelse:
+                body_exits = self.block(s.orelse, body_exits,
+                                        handler_exc, loops)
+            normal = body_exits | h_exits
+            if fin_head is None:
+                return normal
+            for p in normal:
+                self.flow_edge(p, fin_head)
+            fin_exits = self.block(s.finalbody, {fin_head}, exc, loops)
+            for e in fin_exits:
+                # The re-raise path: an in-flight exception continues
+                # outward after the finally body runs.
+                self.exc_edge(e, exc)
+            return fin_exits
+
+        if isinstance(s, ast.Return):
+            if may_raise(s):
+                self.exc_edge(n, exc)
+            self.flow_edge(n, EXIT)
+            return set()
+
+        if isinstance(s, ast.Raise):
+            self.exc_edge(n, exc)
+            return set()
+
+        if isinstance(s, ast.Break):
+            if loops:
+                loops[-1].breaks.add(n)
+            return set()
+
+        if isinstance(s, ast.Continue):
+            if loops:
+                self.flow_edge(n, loops[-1].head)
+            return set()
+
+        if may_raise(s):
+            self.exc_edge(n, exc)
+        return {n}
+
+
+def build_cfg(fn) -> CFG:
+    """The CFG of one function body (entry node ``0``)."""
+    b = _Builder()
+    b.cfg.stmts[0] = None
+    exits = b.block(fn.body, {0}, {EXIT}, [])
+    for e in exits:
+        b.flow_edge(e, EXIT)
+    return b.cfg

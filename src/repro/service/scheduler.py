@@ -158,6 +158,7 @@ class Scheduler:
         self._stopping = threading.Event()
         self._thread: Optional[threading.Thread] = None
         self._last_wait_check = 0.0
+        self._wait_data_version: Optional[int] = None
 
     # -- lifecycle ---------------------------------------------------------
 
@@ -177,17 +178,26 @@ class Scheduler:
             self._thread.join(timeout=10)
             self._thread = None
         with self._lock:
-            for proc, (job, idx, pt, _, conn) in self._live.items():
-                proc.terminate()
-                proc.join()
-                conn.close()
+            live = dict(self._live)
+            self._live.clear()
+        # Reap outside the lock: join() blocks for as long as the
+        # child takes to die, and nothing else can reach these
+        # entries now that they are out of _live.
+        for proc, (_job, _idx, _pt, _t0, conn) in live.items():
+            proc.terminate()
+            proc.join()
+            conn.close()
+        with self._lock:
+            for job, idx, pt, _t0, _conn in live.values():
                 rec = job.records[idx]
                 if rec["status"] == "running":
                     rec["status"] = "cancelled"
                     rec["error"] = "scheduler stopped"
-                if self.store is not None and pt.cacheable:
-                    self.store.release(pt.cache_key(), owner=self.id)
-            self._live.clear()
+                if pt.cacheable:
+                    self._inflight.pop(pt.cache_key(), None)
+                    if self.store is not None:
+                        self.store.release(pt.cache_key(),
+                                           owner=self.id)
             for job in self._jobs.values():
                 if job.status in ("queued", "running"):
                     self._finish_job(job, status="cancelled",
@@ -260,6 +270,7 @@ class Scheduler:
     def cancel(self, job_id: str) -> bool:
         """Cancel a job: queued points never run; running points are
         terminated unless another job shares them."""
+        to_reap: List[Tuple[Any, Any]] = []
         with self._lock:
             job = self._jobs.get(job_id)
             if job is None or job.status in ("done", "failed",
@@ -280,9 +291,6 @@ class Scheduler:
                     job.records[idx]["status"] = "cancelled"
                     job.records[idx]["error"] = "job cancelled"
                     continue
-                proc.terminate()
-                proc.join()
-                conn.close()
                 del self._live[proc]
                 if key is not None:
                     self._inflight.pop(key, None)
@@ -290,11 +298,20 @@ class Scheduler:
                         self.store.release(key, owner=self.id)
                 self._resolve(job, idx, "cancelled",
                               error="job cancelled")
+                to_reap.append((proc, conn))
             self.metrics.inc("service.jobs.cancelled")
             if self.store is not None:
                 self.store.audit("cancel", key=job.id,
                                  actor=job.tenant)
             self._finish_job(job, status="cancelled")
+        # Reap outside the lock: join() blocks until the child dies,
+        # and the pump needs the lock to keep other jobs moving.  The
+        # pump may be inside mp_connection.wait() on a conn we close
+        # here; it tolerates the resulting OSError and re-snapshots.
+        for proc, conn in to_reap:
+            proc.terminate()
+            proc.join()
+            conn.close()
         self._wake.set()
         return True
 
@@ -413,13 +430,35 @@ class Scheduler:
                 conn.close()
                 self._finish_point(job, idx, pt, outcome)
 
+    #: Seconds between waiting-point polls for stores without change
+    #: detection (FileStore).
+    wait_poll_interval = 0.25
+    #: Unconditional re-poll period when the store *does* expose
+    #: ``data_version()``: a crashed owner's claim going stale and
+    #: publishes through our own connection bump no version, so a
+    #: slow timed sweep still has to catch them.
+    wait_poll_fallback = 1.0
+
     def _check_waiting(self) -> None:
         """Poll the store for points claimed by another process, and
-        retry their claims (the owner may have failed and released)."""
+        retry their claims (the owner may have failed and released).
+
+        With a sqlite store this is change-driven: ``PRAGMA
+        data_version`` bumps whenever another connection commits, so
+        the expensive per-point sweep runs only when a foreign writer
+        actually landed something (or on the slow fallback tick).
+        """
         if self.store is None:
             return
         now = time.monotonic()
-        if now - self._last_wait_check < 0.25:
+        data_version = getattr(self.store, "data_version", None)
+        if data_version is not None:
+            version = data_version()
+            if version != self._wait_data_version:
+                self._wait_data_version = version
+            elif now - self._last_wait_check < self.wait_poll_fallback:
+                return
+        elif now - self._last_wait_check < self.wait_poll_interval:
             return
         self._last_wait_check = now
         with self._lock:

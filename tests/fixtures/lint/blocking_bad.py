@@ -1,0 +1,27 @@
+"""Golden NEGATIVE example: blocking call under a lock (K003)."""
+
+import threading
+
+
+class Pool:
+    """Joins its worker while still holding the pool lock, stalling
+    every other client of the lock for the join's duration."""
+
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._worker = None
+        self.jobs = []
+
+    def start(self):
+        self._worker = threading.Thread(target=self._run)
+        self._worker.start()
+
+    def _run(self):
+        with self._lock:
+            self.jobs.append(1)
+
+    def stop(self):
+        with self._lock:
+            if self._worker is not None:
+                self._worker.join()    # K003: join under the lock
+                self._worker = None

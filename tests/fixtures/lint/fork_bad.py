@@ -1,0 +1,39 @@
+"""Golden NEGATIVE example: resources crossing forks (F001, F002)."""
+
+import multiprocessing
+import sqlite3
+
+_CONN = sqlite3.connect("shared.db")    # created pre-fork, at import
+
+
+def _child():
+    # F002: a forked worker inheriting the parent's connection.
+    return _CONN.execute("SELECT 1").fetchone()
+
+
+class Runner:
+    def __init__(self):
+        self._conn = sqlite3.connect("runner.db")
+
+    def close(self):
+        self._conn.close()
+
+    def _work(self):
+        self._conn.execute("SELECT 1")
+
+    def run(self):
+        conn = sqlite3.connect("local.db")
+        try:
+            procs = [
+                # F001: bound method drags self (and self._conn)
+                # through the fork.
+                multiprocessing.Process(target=self._work),
+                # F001: a live connection in args=.
+                multiprocessing.Process(target=_child, args=(conn,)),
+            ]
+            for p in procs:
+                p.start()
+            for p in procs:
+                p.join()
+        finally:
+            conn.close()

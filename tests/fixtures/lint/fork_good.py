@@ -1,0 +1,36 @@
+"""Golden POSITIVE example: fork-safe handoff.
+
+Children receive plain data plus a Pipe end and re-open their own
+database connection — the ``_abandoned`` re-open idiom from
+``repro/experiments/store.py``.
+"""
+
+import multiprocessing
+import sqlite3
+
+
+def _worker(send, path):
+    conn = sqlite3.connect(path)    # re-opened inside the child
+    try:
+        row = conn.execute("SELECT 1").fetchone()
+        send.send(list(row))
+    finally:
+        conn.close()
+        send.close()
+
+
+class Runner:
+    def __init__(self, path):
+        self.path = path
+
+    def run(self):
+        recv, send = multiprocessing.Pipe(duplex=False)
+        proc = multiprocessing.Process(target=_worker,
+                                       args=(send, self.path))
+        proc.start()
+        send.close()
+        try:
+            return recv.recv()
+        finally:
+            proc.join()
+            recv.close()

@@ -1,0 +1,29 @@
+"""Golden NEGATIVE example: leaked resources (X001, X002, X003)."""
+
+import socket
+import threading
+
+
+class Daemon:
+    """Starts a thread and opens a socket it never tears down."""
+
+    def __init__(self, addr):
+        # X001: started in start(), joined nowhere.
+        self._thread = threading.Thread(target=self._serve)
+        # X003: no teardown method ever closes it.
+        self._sock = socket.create_connection(addr)
+        self.served = 0
+
+    def start(self):
+        self._thread.start()
+
+    def _serve(self):
+        self.served += 1
+
+
+def tail(path):
+    fh = open(path)        # X002: leaks when read()/split() raises
+    data = fh.read()
+    parsed = data.split()
+    fh.close()
+    return parsed

@@ -1,0 +1,28 @@
+"""Golden POSITIVE example: every resource has a teardown path."""
+
+import socket
+import threading
+
+
+class Daemon:
+    """Same shape as lifecycle_bad, with close() doing its job."""
+
+    def __init__(self, addr):
+        self._thread = threading.Thread(target=self._serve)
+        self._sock = socket.create_connection(addr)
+        self.served = 0
+
+    def start(self):
+        self._thread.start()
+
+    def _serve(self):
+        self.served += 1
+
+    def close(self):
+        self._sock.close()
+        self._thread.join()
+
+
+def tail(path):
+    with open(path) as fh:
+        return fh.read().split()

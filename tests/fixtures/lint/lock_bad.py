@@ -1,0 +1,33 @@
+"""Golden NEGATIVE example: unlocked shared state (K001)."""
+
+import threading
+
+
+class Counter:
+    """Owns a lock and a pump thread, but touches state unlocked."""
+
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._thread = None
+        self.items = []
+        self.total = 0
+
+    def start(self):
+        self._thread = threading.Thread(target=self._pump)
+        self._thread.start()
+
+    def stop(self):
+        if self._thread is not None:
+            self._thread.join()
+            self._thread = None
+
+    def _pump(self):
+        with self._lock:
+            self.items.append(1)
+        self.total += 1        # K001: written off-thread, no lock
+
+    def snapshot(self):
+        return list(self.items)    # K001: read from main, no lock
+
+    def count(self):
+        return self.total          # K001: read from main, no lock

@@ -1,0 +1,35 @@
+"""Golden POSITIVE example: every shared access holds the lock."""
+
+import threading
+
+
+class Counter:
+    """Same shape as lock_bad, with the discipline applied."""
+
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._thread = None
+        self.items = []
+        self.total = 0
+
+    def start(self):
+        self._thread = threading.Thread(target=self._pump)
+        self._thread.start()
+
+    def stop(self):
+        if self._thread is not None:
+            self._thread.join()
+            self._thread = None
+
+    def _pump(self):
+        with self._lock:
+            self.items.append(1)
+            self.total += 1
+
+    def snapshot(self):
+        with self._lock:
+            return list(self.items)
+
+    def count(self):
+        with self._lock:
+            return self.total

@@ -1,0 +1,23 @@
+"""Golden NEGATIVE example: AB/BA lock acquisition order (K002)."""
+
+import threading
+
+
+class Transfer:
+    """Acquires its two locks in both orders — a deadlock hazard the
+    moment two threads run forward() and backward() concurrently."""
+
+    def __init__(self):
+        self._alpha = threading.Lock()
+        self._beta = threading.Lock()
+        self.moved = 0
+
+    def forward(self):
+        with self._alpha:
+            with self._beta:       # K002: alpha -> beta here ...
+                self.moved += 1
+
+    def backward(self):
+        with self._beta:
+            with self._alpha:      # ... beta -> alpha there
+                self.moved -= 1

@@ -1,0 +1,123 @@
+"""Thread-hammer stress test for the scheduler.
+
+N client threads fire submit/job/results/jobs/cancel against one
+running scheduler — mostly store-primed ratio points that resolve as
+cache hits inside submit(), plus a sprinkle of probe points that fork
+real workers — and every snapshot any thread observes must satisfy
+the job-state invariants.  The CI ``concurrency-stress`` job runs
+this module in repeat mode under ``PYTHONDEVMODE=1`` with
+faulthandler enabled; here it runs once as a normal tier-1 test.
+"""
+
+import random
+import threading
+import time
+
+import pytest
+
+from repro.experiments.plan import Point
+from repro.experiments.store import SqliteStore
+from repro.service import Scheduler
+
+JOB_TERMINAL = {"done", "failed", "cancelled"}
+JOB_STATUSES = JOB_TERMINAL | {"queued", "running"}
+POINT_STATUSES = {"queued", "waiting", "running", "done", "cached",
+                  "failed", "timeout", "cancelled"}
+
+N_THREADS = 6
+N_OPS = 20
+
+
+@pytest.fixture()
+def primed(tmp_path, monkeypatch):
+    """A sqlite store pre-seeded with payloads for 16 ratio points,
+    so most submissions resolve without forking."""
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "cache"))
+    monkeypatch.setenv("REPRO_SCALE", "0.05")
+    path = tmp_path / "store.sqlite"
+    monkeypatch.setenv("REPRO_STORE", str(path))
+    store = SqliteStore(path, actor="prime")
+    points = [Point.ratio(f"bench-{i}") for i in range(16)]
+    for i, pt in enumerate(points):
+        store.store(pt.cache_key(), {"ratio": float(i)})
+    yield store, points
+    store.close()
+
+
+def _check_job(snap, results):
+    """The invariants every observable job snapshot must satisfy."""
+    assert snap["status"] in JOB_STATUSES, snap
+    counts = snap["counts"]
+    assert all(s in POINT_STATUSES for s in counts), counts
+    if results is not None:
+        assert sum(counts.values()) == len(results)
+        for rec in results:
+            assert rec["status"] in POINT_STATUSES, rec["status"]
+        if snap["status"] in JOB_TERMINAL:
+            # Terminal is absorbing: no point may still be live.
+            live = [r["status"] for r in results
+                    if r["status"] in ("queued", "waiting", "running")]
+            assert not live, (snap["status"], live)
+
+
+def _hammer(tid, sched, points, errors):
+    rng = random.Random(1000 + tid)
+    my_jobs = []
+    try:
+        for i in range(N_OPS):
+            op = rng.random()
+            if op < 0.45 or not my_jobs:
+                if op < 0.05:
+                    pts = [Point.probe(f"probe-{tid}-{i}")]
+                else:
+                    pts = rng.sample(points, rng.randint(1, 3))
+                my_jobs.append(sched.submit(
+                    pts, tenant=f"tenant-{tid % 3}",
+                    priority=rng.randint(0, 5)))
+            elif op < 0.6:
+                sched.cancel(rng.choice(my_jobs))
+            elif op < 0.85:
+                jid = rng.choice(my_jobs)
+                # Snapshot before records: terminal is absorbing, so
+                # a terminal snapshot fixes the records that follow.
+                snap = sched.job(jid)
+                _check_job(snap, sched.results(jid))
+            else:
+                for snap in sched.jobs():
+                    _check_job(snap, None)
+    except Exception as exc:  # noqa: BLE001 - surfaced in the main thread
+        errors.append((tid, repr(exc)))
+
+
+def test_scheduler_survives_client_thread_hammer(primed):
+    _store, points = primed
+    errors = []
+    with Scheduler(workers=4) as sched:
+        threads = [
+            threading.Thread(target=_hammer,
+                             args=(tid, sched, points, errors),
+                             name=f"hammer-{tid}")
+            for tid in range(N_THREADS)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=120)
+            assert not t.is_alive(), "hammer thread wedged"
+        assert not errors, errors
+
+        # Drain: every job must reach a terminal status.
+        deadline = time.monotonic() + 120
+        while time.monotonic() < deadline:
+            snaps = sched.jobs()
+            if all(s["status"] in JOB_TERMINAL for s in snaps):
+                break
+            time.sleep(0.05)
+        pending = [s for s in sched.jobs()
+                   if s["status"] not in JOB_TERMINAL]
+        assert not pending, pending
+        for snap in sched.jobs():
+            _check_job(snap, sched.results(snap["id"]))
+    # After stop() nothing may linger.
+    assert sched._live == {}
+    assert sched._inflight == {}
+    assert sched._thread is None

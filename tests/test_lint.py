@@ -345,6 +345,165 @@ class TestBaseline:
 
 
 # ---------------------------------------------------------------------------
+# lock discipline (K001-K003)
+# ---------------------------------------------------------------------------
+
+class TestLockDiscipline:
+    def test_unlocked_shared_state(self, tmp_path):
+        cfg = make_pkg(tmp_path, {"svc.py": fixture("lock_bad.py")})
+        findings = lint_tree(cfg)
+        assert rule_ids(findings) == {"K001"}
+        assert len(findings) == 3
+        assert any("Counter.items" in f.message for f in findings)
+        assert any("thread:_pump" in f.message for f in findings)
+
+    def test_locked_counterpart_is_clean(self, tmp_path):
+        cfg = make_pkg(tmp_path, {"svc.py": fixture("lock_good.py")})
+        assert lint_tree(cfg) == []
+
+    def test_ab_ba_lock_order(self, tmp_path):
+        cfg = make_pkg(tmp_path,
+                       {"svc.py": fixture("lockorder_bad.py")})
+        findings = lint_tree(cfg)
+        assert rule_ids(findings) == {"K002"}
+        assert "Transfer._alpha" in findings[0].message
+        assert "Transfer._beta" in findings[0].message
+
+    def test_blocking_call_under_lock(self, tmp_path):
+        cfg = make_pkg(tmp_path,
+                       {"svc.py": fixture("blocking_bad.py")})
+        findings = lint_tree(cfg)
+        assert rule_ids(findings) == {"K003"}
+        assert "join()" in findings[0].message
+
+    def test_pragma_silences_k001(self, tmp_path):
+        src = fixture("lock_bad.py").replace(
+            "return list(self.items)    # K001: read from main, "
+            "no lock",
+            "return list(self.items)  # lint: disable=K001")
+        cfg = make_pkg(tmp_path, {"svc.py": src})
+        findings = [f for f in lint_tree(cfg) if f.rule == "K001"]
+        assert len(findings) == 2
+        assert not any("snapshot" in f.message for f in findings)
+
+
+# ---------------------------------------------------------------------------
+# fork safety (F001-F002)
+# ---------------------------------------------------------------------------
+
+class TestForkSafety:
+    def test_resources_crossing_forks(self, tmp_path):
+        cfg = make_pkg(tmp_path, {"svc.py": fixture("fork_bad.py")})
+        findings = lint_tree(cfg)
+        assert rule_ids(findings) == {"F001", "F002"}
+        f001 = [f for f in findings if f.rule == "F001"]
+        assert len(f001) == 2
+        assert any("bound method" in f.message for f in f001)
+        f002 = [f for f in findings if f.rule == "F002"]
+        assert len(f002) == 1 and "_CONN" in f002[0].message
+
+    def test_reopen_idiom_is_clean(self, tmp_path):
+        cfg = make_pkg(tmp_path, {"svc.py": fixture("fork_good.py")})
+        assert lint_tree(cfg) == []
+
+
+# ---------------------------------------------------------------------------
+# resource lifecycle (X001-X003)
+# ---------------------------------------------------------------------------
+
+class TestLifecycle:
+    def test_leaks(self, tmp_path):
+        cfg = make_pkg(tmp_path,
+                       {"svc.py": fixture("lifecycle_bad.py")})
+        findings = lint_tree(cfg)
+        assert rule_ids(findings) == {"X001", "X002", "X003"}
+
+    def test_teardown_counterpart_is_clean(self, tmp_path):
+        cfg = make_pkg(tmp_path,
+                       {"svc.py": fixture("lifecycle_good.py")})
+        assert lint_tree(cfg) == []
+
+    def test_escaping_resource_transfers_ownership(self, tmp_path):
+        src = ("def produce(path, sink):\n"
+               "    fh = open(path)\n"
+               "    sink.adopt(fh)\n")
+        cfg = make_pkg(tmp_path, {"svc.py": src})
+        assert not [f for f in lint_tree(cfg) if f.rule == "X002"]
+
+    def test_finally_close_is_clean(self, tmp_path):
+        src = ("def slurp(path):\n"
+               "    fh = open(path)\n"
+               "    try:\n"
+               "        return fh.read()\n"
+               "    finally:\n"
+               "        fh.close()\n")
+        cfg = make_pkg(tmp_path, {"svc.py": src})
+        assert not [f for f in lint_tree(cfg) if f.rule == "X002"]
+
+
+# ---------------------------------------------------------------------------
+# the flow/execctx framework itself
+# ---------------------------------------------------------------------------
+
+class TestFlowFramework:
+    def test_cfg_exception_edges_reach_exit(self):
+        import ast
+        from repro.lint.flow import EXIT, build_cfg
+        fn = ast.parse(
+            "def f(path):\n"
+            "    fh = open(path)\n"
+            "    data = fh.read()\n"
+            "    fh.close()\n"
+            "    return data\n").body[0]
+        cfg = build_cfg(fn)
+        read_nodes = [n for n, s in cfg.stmts.items()
+                      if s is not None
+                      and getattr(s, "lineno", 0) == 3]
+        assert read_nodes and EXIT in cfg.succ(read_nodes[0])
+
+    def test_with_context_tracking(self):
+        import ast
+        from repro.lint.flow import collect_function
+        fn = ast.parse(
+            "def f(self):\n"
+            "    with self._lock:\n"
+            "        self.items.append(1)\n"
+            "    self.total += 1\n").body[0]
+        info = collect_function(fn)
+        locked = [a for a in info.accesses if a.attr == "items"]
+        unlocked = [a for a in info.accesses if a.attr == "total"]
+        assert locked and all("self._lock" in a.locks
+                              for a in locked)
+        assert unlocked and all(not a.locks for a in unlocked)
+
+    def test_execution_contexts(self, tmp_path):
+        from repro.lint import program_index
+        from repro.lint.core import LintContext
+        cfg = make_pkg(tmp_path, {"svc.py": fixture("lock_bad.py")})
+        idx = program_index(LintContext(cfg))
+        assert idx.contexts_of("fakepkg.svc.Counter._pump") == \
+            {"thread:_pump"}
+        assert "main" in idx.contexts_of(
+            "fakepkg.svc.Counter.snapshot")
+
+    def test_families_flag_filters(self, tmp_path, capsys):
+        root = tmp_path / "fakepkg"
+        root.mkdir()
+        (root / "__init__.py").write_text("")
+        (root / "gen.py").write_text(fixture("determinism_bad.py"))
+        (root / "svc.py").write_text(fixture("blocking_bad.py"))
+        assert cli_main(["lint", "--root", str(root)]) == 1
+        out = capsys.readouterr().out
+        assert "D001" in out and "K003" in out
+        assert cli_main(["lint", "--root", str(root),
+                         "--families", "K,F,X"]) == 1
+        out = capsys.readouterr().out
+        assert "K003" in out and "D001" not in out
+        assert cli_main(["lint", "--root", str(root),
+                         "--families", "X"]) == 0
+
+
+# ---------------------------------------------------------------------------
 # CLI surface + the live tree
 # ---------------------------------------------------------------------------
 

@@ -183,6 +183,136 @@ class TestScheduler:
             store.close()
 
 
+class _ReapLog:
+    """Stub worker proc/conn pair that records whether the scheduler
+    lock was held at each teardown call — the K003 regression: join()
+    must happen outside the lock."""
+
+    def __init__(self, sched):
+        self.sched = sched
+        self.calls = []
+
+    def _note(self, what):
+        self.calls.append((what, self.sched._lock._is_owned()))
+
+    def terminate(self):
+        self._note("terminate")
+
+    def join(self, timeout=None):
+        self._note("join")
+
+    def close(self):
+        self._note("close")
+
+
+def _fake_running_worker(sched, jid):
+    """Wire a stub proc into the scheduler as if a worker were live."""
+    job = sched._jobs[jid]
+    rec = job.records[0]
+    rec["status"] = "running"
+    rec["t0"] = time.monotonic()
+    job.status = "running"
+    stub = _ReapLog(sched)
+    sched._live[stub] = (job, 0, job.points[0], time.monotonic(), stub)
+    return job, stub
+
+
+class TestSchedulerReapsOutsideLock:
+    """Regressions for the lint-found K003s: stop()/cancel() used to
+    terminate+join workers while holding the scheduler lock."""
+
+    def test_stop_joins_with_lock_released(self, cache):
+        sched = Scheduler(workers=1)
+        jid = sched.submit([Point.probe("reap")])
+        job, stub = _fake_running_worker(sched, jid)
+        sched.stop()
+        assert stub.calls == [("terminate", False), ("join", False),
+                              ("close", False)]
+        assert sched._live == {} and sched._inflight == {}
+        snap = sched.job(jid)
+        assert snap["status"] == "cancelled"
+        assert job.records[0]["status"] == "cancelled"
+        assert job.records[0]["error"] == "scheduler stopped"
+
+    def test_cancel_joins_with_lock_released(self, cache):
+        sched = Scheduler(workers=1)
+        jid = sched.submit([Point.probe("reap")])
+        _job, stub = _fake_running_worker(sched, jid)
+        try:
+            assert sched.cancel(jid) is True
+            assert stub.calls == [("terminate", False),
+                                  ("join", False), ("close", False)]
+            assert sched._live == {} and sched._inflight == {}
+            snap = sched.job(jid)
+            assert snap["status"] == "cancelled"
+            assert snap["counts"] == {"cancelled": 1}
+        finally:
+            sched.stop()
+
+
+class TestWaitingPointChangeDetection:
+    """The data_version satellite: waiting points re-poll when a
+    foreign connection commits, not on a fixed timer."""
+
+    def test_store_exposes_data_version(self, tmp_path):
+        path = tmp_path / "store.sqlite"
+        a = SqliteStore(path, actor="a")
+        b = SqliteStore(path, actor="b")
+        v0 = a.data_version()
+        a.store("own", {"ratio": 1.0})
+        # Own commits are invisible to our own counter...
+        assert a.data_version() == v0
+        # ...foreign commits bump it.
+        b.store("foreign", {"ratio": 2.0})
+        assert a.data_version() != v0
+        a.close()
+        b.close()
+
+    def test_waiting_point_resolves_on_foreign_commit(
+            self, cache, tmp_path, monkeypatch):
+        path = tmp_path / "store.sqlite"
+        monkeypatch.setenv("REPRO_STORE", str(path))
+        store = SqliteStore(path, actor="sched")
+        other = SqliteStore(path, actor="other")
+        pt = Point.ratio(BENCH)
+        other.claim(pt.cache_key(), owner="another-scheduler")
+        sched = Scheduler(workers=1, store=store)
+        # Make the timed fallback unreachable: only data_version
+        # change detection can resolve the point in this test.
+        sched.wait_poll_fallback = 3600.0
+        try:
+            jid = sched.submit([pt], tenant="alice")
+            sched._schedule()
+            (rec,) = sched.results(jid)
+            assert rec["status"] == "waiting"
+            sched._check_waiting()  # snapshots the current version
+            last = sched._last_wait_check
+            sched._check_waiting()  # nothing changed: early return
+            assert sched._last_wait_check == last
+            (rec,) = sched.results(jid)
+            assert rec["status"] == "waiting"
+            # The foreign owner publishes; the next check sweeps.
+            other.store(pt.cache_key(), {"ratio": 9.0})
+            sched._check_waiting()
+            snap = sched.job(jid)
+            assert snap["status"] == "done"
+            (rec,) = sched.results(jid)
+            assert rec["status"] == "cached"
+            assert rec["payload"] == {"ratio": 9.0}
+        finally:
+            sched.stop()
+            store.close()
+            other.close()
+
+    def test_filestore_scheduler_keeps_timed_poll(self, cache):
+        sched = Scheduler(workers=1)  # no store attached
+        try:
+            assert getattr(sched.store, "data_version", None) is None
+            sched._check_waiting()  # must not blow up without a store
+        finally:
+            sched.stop()
+
+
 class TestServiceHTTP:
     def test_end_to_end_over_http(self, cache, tmp_path, monkeypatch):
         store_path = tmp_path / "store.sqlite"

@@ -13,6 +13,11 @@ Runs, in order:
   (``repro.experiments.store.store_self_check``): migration
   round-trip, upsert atomicity, fallback promotion, claim
   exclusivity, and sqlite integrity on a throwaway store.
+* ``concurrency`` — ``repro lint --strict --families K,F,X``: just
+  the concurrency families (lock discipline, fork safety, resource
+  lifecycle; ``docs/concurrency.md``). Redundant with ``lint`` when
+  both run, but exposed separately so the concurrency gate can be
+  invoked (and reported) on its own.
 
 Usage::
 
@@ -49,10 +54,16 @@ def check_store() -> int:
     return store_self_check()
 
 
+def check_concurrency() -> int:
+    from repro.cli import main
+    return main(["lint", "--strict", "--families", "K,F,X"])
+
+
 CHECKS = {
     "lint": check_lint,
     "docs": check_docs,
     "store": check_store,
+    "concurrency": check_concurrency,
 }
 
 
