@@ -106,11 +106,17 @@ def sampled_points(points, args, prog: str):
               f"plan {args.plan!r} has multi-thread points "
               f"(e.g. {multi[0].label})", file=sys.stderr)
         return None
+    rse_metrics = (tuple(args.sample_rse_metrics.split(","))
+                   if args.sample_rse_metrics else ())
     return [dataclasses.replace(
                 p, sample=True,
                 sample_interval=args.sample_interval,
                 sample_count=args.sample_count,
-                sample_mode=args.sample_mode)
+                sample_mode=args.sample_mode,
+                sample_rse=args.sample_rse,
+                sample_rse_metrics=rse_metrics,
+                sample_max=args.sample_max,
+                sample_mem_weight=args.sample_mem_weight)
             if p.kind == "run" else p
             for p in points]
 
@@ -225,9 +231,25 @@ def add_plan_arguments(p, with_engine: bool = True) -> None:
     p.add_argument("--sample-count", type=int, default=8,
                    metavar="K", help="intervals simulated in detail")
     p.add_argument("--sample-mode",
-                   choices=["systematic", "bbv"],
+                   choices=["systematic", "bbv", "bbv+mem"],
                    default="systematic",
                    help="representative-interval selection mode")
+    p.add_argument("--sample-rse", type=float, default=None,
+                   metavar="TARGET",
+                   help="adaptive convergence: grow each point's "
+                        "interval budget until the watched metrics' "
+                        "relative standard error reaches TARGET")
+    p.add_argument("--sample-rse-metrics", default=None,
+                   metavar="M1,M2",
+                   help="metrics watched by --sample-rse "
+                        "(default: ipc,spills,fills)")
+    p.add_argument("--sample-max", type=int, default=64,
+                   metavar="K",
+                   help="hard cap on detailed intervals under "
+                        "--sample-rse")
+    p.add_argument("--sample-mem-weight", type=float, default=0.5,
+                   metavar="W",
+                   help="memory-feature weight in bbv+mem clustering")
 
 
 def register(sub) -> None:

@@ -77,11 +77,19 @@ def _cmd_run(args) -> int:
 
     try:
         if args.sample:
-            from repro.sampling import SamplingConfig, run_sampled
+            from repro.sampling import (DEFAULT_RSE_METRICS,
+                                        SamplingConfig, run_sampled)
+            rse_metrics = (tuple(args.sample_rse_metrics.split(","))
+                           if args.sample_rse_metrics
+                           else DEFAULT_RSE_METRICS)
             scfg = SamplingConfig(interval_len=args.sample_interval,
                                   n_detailed=args.sample_count,
                                   mode=args.sample_mode,
-                                  warmup_insns=args.sample_warmup)
+                                  warmup_insns=args.sample_warmup,
+                                  mem_weight=args.sample_mem_weight,
+                                  rse_target=args.sample_rse,
+                                  rse_metrics=rse_metrics,
+                                  max_detailed=args.sample_max)
             metrics = (MetricsRegistry(args.metrics_interval)
                        if args.metrics_interval is not None else None)
             stats, smeta = run_sampled(args.model,
@@ -141,6 +149,13 @@ def _cmd_run(args) -> int:
               f"detailed_cycles={smeta.detailed_cycles} "
               f"(est {smeta.est_cycles}, {smeta.speedup:.1f}x fewer) "
               f"{errs}")
+        if smeta.rse_target is not None:
+            state = ("converged" if smeta.converged
+                     else "hit cap before converging")
+            print(f"sampling: rse target {smeta.rse_target:.2%} on "
+                  f"{','.join(smeta.rse_metrics)}: {state} after "
+                  f"{len(smeta.rounds)} round(s), "
+                  f"+{smeta.intervals_added} interval(s)")
     if not args.sample:
         tracer.close()
         for sink in tracer.sinks:
@@ -304,14 +319,33 @@ def register(sub) -> None:
     run.add_argument("--sample-count", type=int, default=8,
                      metavar="K", help="intervals simulated in detail")
     run.add_argument("--sample-mode",
-                     choices=["systematic", "bbv"],
+                     choices=["systematic", "bbv", "bbv+mem"],
                      default="systematic",
                      help="representative selection: evenly spaced, "
-                          "or SimPoint-style BBV clustering")
+                          "SimPoint-style BBV clustering, or BBV plus "
+                          "memory-signature features")
     run.add_argument("--sample-warmup", type=int, default=500,
                      metavar="N",
                      help="detailed (unmeasured) warmup instructions "
                           "before each interval")
+    run.add_argument("--sample-rse", type=float, default=None,
+                     metavar="TARGET",
+                     help="adaptive convergence: add intervals until "
+                          "every watched metric's relative standard "
+                          "error is at or below TARGET (e.g. 0.005); "
+                          "--sample-count becomes the starting budget")
+    run.add_argument("--sample-rse-metrics", default=None,
+                     metavar="M1,M2",
+                     help="comma-separated metrics watched by "
+                          "--sample-rse (default: ipc,spills,fills)")
+    run.add_argument("--sample-max", type=int, default=64,
+                     metavar="K",
+                     help="hard cap on detailed intervals under "
+                          "--sample-rse")
+    run.add_argument("--sample-mem-weight", type=float, default=0.5,
+                     metavar="W",
+                     help="weight of the memory-signature feature "
+                          "block in bbv+mem clustering (0..1)")
     run.add_argument("--functional-mode",
                      choices=["interp", "blocks", "batched"],
                      default=None,

@@ -112,7 +112,8 @@ OUTCOME_FIELDS: Tuple[str, ...] = (
     "scale", "elapsed", "cycles", "ipc", "dl1_accesses", "unrunnable",
     "error", "key", "schema",
     "sampled", "sample_intervals", "sample_detailed",
-    "sample_detailed_cycles",
+    "sample_detailed_cycles", "sample_rse_rounds",
+    "sample_intervals_added",
 )
 
 
@@ -146,7 +147,9 @@ def write_outcomes_csv(path: str, outcomes) -> Path:
                            sampled=int(r.sampled),
                            sample_intervals=r.sample_intervals,
                            sample_detailed=r.sample_detailed,
-                           sample_detailed_cycles=r.sample_detailed_cycles)
+                           sample_detailed_cycles=r.sample_detailed_cycles,
+                           sample_rse_rounds=r.sample_rse_rounds,
+                           sample_intervals_added=r.sample_intervals_added)
             writer.writerow(row)
     return out
 

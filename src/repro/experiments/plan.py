@@ -65,6 +65,14 @@ class Point:
     sample_interval: int = 2000
     sample_count: int = 8
     sample_mode: str = "systematic"
+    #: Adaptive convergence control (``rse_target``); identity-bearing
+    #: only when ``sample_rse`` is set, so previously-sampled keys stay
+    #: untouched too.  ``sample_mem_weight`` joins the key only under
+    #: ``sample_mode == "bbv+mem"``, the only mode that reads it.
+    sample_rse: Optional[float] = None
+    sample_rse_metrics: Tuple[str, ...] = ()
+    sample_max: int = 64
+    sample_mem_weight: float = 0.5
 
     # -- constructors ------------------------------------------------------
     @classmethod
@@ -109,6 +117,14 @@ class Point:
                               sample_interval=self.sample_interval,
                               sample_count=self.sample_count,
                               sample_mode=self.sample_mode)
+                if self.sample_mode == "bbv+mem":
+                    params.update(
+                        sample_mem_weight=self.sample_mem_weight)
+                if self.sample_rse is not None:
+                    params.update(
+                        sample_rse=self.sample_rse,
+                        sample_rse_metrics=self.sample_rse_metrics,
+                        sample_max=self.sample_max)
             return _runner._cache_key(**params)
         if self.kind == PATH_RATIO:
             return _runner._cache_key(kind=PATH_RATIO, bench=self.bench)
@@ -135,7 +151,11 @@ class Point:
                 "bench": self.bench, "sample": self.sample,
                 "sample_interval": self.sample_interval,
                 "sample_count": self.sample_count,
-                "sample_mode": self.sample_mode}
+                "sample_mode": self.sample_mode,
+                "sample_rse": self.sample_rse,
+                "sample_rse_metrics": list(self.sample_rse_metrics),
+                "sample_max": self.sample_max,
+                "sample_mem_weight": self.sample_mem_weight}
 
     @classmethod
     def from_dict(cls, d: Mapping[str, Any]) -> "Point":
@@ -150,7 +170,12 @@ class Point:
                    sample=d.get("sample", False),
                    sample_interval=d.get("sample_interval", 2000),
                    sample_count=d.get("sample_count", 8),
-                   sample_mode=d.get("sample_mode", "systematic"))
+                   sample_mode=d.get("sample_mode", "systematic"),
+                   sample_rse=d.get("sample_rse"),
+                   sample_rse_metrics=tuple(
+                       d.get("sample_rse_metrics", ())),
+                   sample_max=d.get("sample_max", 64),
+                   sample_mem_weight=d.get("sample_mem_weight", 0.5))
 
     # -- execution ---------------------------------------------------------
     def load_cached(self) -> Optional[dict]:
@@ -179,7 +204,12 @@ class Point:
             sample_kwargs = dict(
                 sample=True, sample_interval=self.sample_interval,
                 sample_count=self.sample_count,
-                sample_mode=self.sample_mode) if self.sample else {}
+                sample_mode=self.sample_mode,
+                sample_rse=self.sample_rse,
+                sample_rse_metrics=self.sample_rse_metrics,
+                sample_max=self.sample_max,
+                sample_mem_weight=self.sample_mem_weight,
+            ) if self.sample else {}
             result = _runner.run_point(
                 self.model, self.benches, self.phys_regs,
                 dl1_ports=self.dl1_ports, scale=self.scale,
@@ -239,9 +269,13 @@ def point_from_params(**params: Any) -> Point:
                 raise TypeError("give either 'bench' or 'benches'")
             params["benches"] = (params.pop("bench"),)
         benches = tuple(params.pop("benches", ()))
+        if "sample_rse_metrics" in params:
+            params["sample_rse_metrics"] = tuple(
+                params["sample_rse_metrics"])
         allowed = {"model", "phys_regs", "dl1_ports", "scale",
                    "sample", "sample_interval", "sample_count",
-                   "sample_mode"}
+                   "sample_mode", "sample_rse", "sample_rse_metrics",
+                   "sample_max", "sample_mem_weight"}
         unknown = set(params) - allowed
         if unknown:
             raise TypeError(f"unknown run-point parameters: "

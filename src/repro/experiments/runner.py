@@ -118,6 +118,12 @@ class RunResult:
     sample_detailed: int = 0
     sample_detailed_cycles: int = 0
     sample_errors: Dict[str, float] = field(default_factory=dict)
+    # Adaptive-convergence metadata (zero/empty for fixed-count runs).
+    sample_rse_target: float = 0.0
+    sample_rse_rounds: int = 0
+    sample_intervals_added: int = 0
+    sample_converged: bool = True
+    sample_rounds: Tuple[dict, ...] = ()
 
     @property
     def ipc(self) -> float:
@@ -156,7 +162,8 @@ def _cache_store(key: str, payload: dict) -> None:
 def result_from_dict(d: dict) -> RunResult:
     """Rebuild a :class:`RunResult` from its JSON form."""
     d = dict(d)
-    for k in ("benches", "committed", "thread_ipcs", "stats_vector"):
+    for k in ("benches", "committed", "thread_ipcs", "stats_vector",
+              "sample_rounds"):
         if k in d:
             d[k] = tuple(d[k])
     return RunResult(**d)
@@ -178,7 +185,11 @@ def run_point(model: str, benches: Sequence[str], phys_regs: int,
               dl1_ports: int = 2, scale: float = 1.0,
               use_cache: bool = True, sample: bool = False,
               sample_interval: int = 2000, sample_count: int = 8,
-              sample_mode: str = "systematic") -> RunResult:
+              sample_mode: str = "systematic",
+              sample_rse: Optional[float] = None,
+              sample_rse_metrics: Sequence[str] = (),
+              sample_max: int = 64,
+              sample_mem_weight: float = 0.5) -> RunResult:
     """Simulate one configuration (cached).
 
     ``benches`` holds one benchmark name per hardware thread.
@@ -191,7 +202,10 @@ def run_point(model: str, benches: Sequence[str], phys_regs: int,
     simulation (``repro.sampling``, single-thread only): the
     ``sample_*`` parameters join the cache key, and the result carries
     the sampling metadata fields.  Full-detail keys are untouched, so
-    sampled and full results never alias in the cache.
+    sampled and full results never alias in the cache.  ``sample_rse``
+    turns on the adaptive convergence loop; its parameters
+    (and ``sample_mem_weight``, under ``bbv+mem`` only) join the key
+    under the same only-when-set discipline.
     """
     benches = tuple(benches)
     if sample and len(benches) != 1:
@@ -204,6 +218,13 @@ def run_point(model: str, benches: Sequence[str], phys_regs: int,
         key_params.update(sample=True, sample_interval=sample_interval,
                           sample_count=sample_count,
                           sample_mode=sample_mode)
+        if sample_mode == "bbv+mem":
+            key_params.update(sample_mem_weight=sample_mem_weight)
+        if sample_rse is not None:
+            key_params.update(
+                sample_rse=sample_rse,
+                sample_rse_metrics=tuple(sample_rse_metrics),
+                sample_max=sample_max)
     key = _cache_key(**key_params)
     if use_cache:
         cached = _cache_load_result(key)
@@ -218,10 +239,17 @@ def run_point(model: str, benches: Sequence[str], phys_regs: int,
     smeta = None
     try:
         if sample:
-            from repro.sampling import SamplingConfig, run_sampled
-            scfg = SamplingConfig(interval_len=sample_interval,
-                                  n_detailed=sample_count,
-                                  mode=sample_mode)
+            from repro.sampling import (DEFAULT_RSE_METRICS,
+                                        SamplingConfig, run_sampled)
+            scfg = SamplingConfig(
+                interval_len=sample_interval,
+                n_detailed=sample_count,
+                mode=sample_mode,
+                mem_weight=sample_mem_weight,
+                rse_target=sample_rse,
+                rse_metrics=(tuple(sample_rse_metrics)
+                             or DEFAULT_RSE_METRICS),
+                max_detailed=sample_max)
             stats, smeta = run_sampled(model, cfg.with_(n_threads=1),
                                        programs[0], scfg)
         else:
@@ -253,6 +281,13 @@ def run_point(model: str, benches: Sequence[str], phys_regs: int,
             sample_detailed_cycles=smeta.detailed_cycles,
             sample_errors={k: float(v)
                            for k, v in smeta.errors.items()})
+        if smeta.rse_target is not None:
+            sample_fields.update(
+                sample_rse_target=float(smeta.rse_target),
+                sample_rse_rounds=len(smeta.rounds),
+                sample_intervals_added=smeta.intervals_added,
+                sample_converged=smeta.converged,
+                sample_rounds=tuple(dict(r) for r in smeta.rounds))
     # Scalar stats come from the shared SimStats.to_dict schema
     # (export.RUN_STAT_KEYS) rather than per-field plucking, so run
     # artifacts and stats exports cannot diverge.

@@ -65,7 +65,7 @@ from repro.isa.opcodes import Op
 from repro.isa.registers import WINDOW_REGS, is_windowed, window_slot
 
 __all__ = ["BlockTable", "block_table", "run_blocks", "advance_blocks",
-           "run_intervals", "MAX_BLOCK_LEN"]
+           "run_intervals", "advance_bbv", "MAX_BLOCK_LEN"]
 
 SIGN64 = 1 << 63
 TWO64 = 1 << 64
@@ -510,6 +510,67 @@ def advance_blocks(sim: FunctionalSim, n: int) -> int:
     if n > 0 and not sim.halted:
         _advance(sim, start + n)
     return sim.stats.instructions - start
+
+
+def advance_bbv(sim: FunctionalSim, limit: int, bucket: int,
+                bbv: Dict[int, int]) -> None:
+    """Execute until ``stats.instructions == limit`` (or ``HALT``),
+    accumulating bucketed-PC counts into ``bbv``.
+
+    The bounded-BBV primitive of the adaptive sampler's combined
+    profile-and-checkpoint pass: :func:`run_intervals`' inner loop
+    with an absolute stop, plus ``sim._cap``-gated branch/RAS capture
+    in the per-instruction tail (replayed terminators already emit it)
+    so one pass can collect BBVs *and* checkpoint warmup traces.
+
+    Splitting an interval across several calls yields the same BBV
+    dict — content and insertion order — as one continuous pass:
+    bucket ids are appended in PC visit order either way, and
+    run-length accumulation is associative over the split.
+    """
+    st = sim.stats
+    table = block_table(sim.program)
+    blocks = table.blocks
+    bind = _binding(sim)
+    regs, rdm, wrm = bind.regs, bind.rdm, bind.wrm
+    frames = sim.frames
+    code = table.code
+    code_len = len(code)
+    cap = sim._cap
+    while not sim.halted:
+        room = limit - st.instructions
+        if room <= 0:
+            return
+        pc = sim.pc
+        if not 0 <= pc < code_len:
+            raise FunctionalError(f"PC {pc} out of range")
+        blk = blocks[pc]
+        if blk is None:
+            blk = table.decode(pc)
+        if blk.n > room:
+            done = 0
+            while done < room and not sim.halted:
+                p = sim.pc
+                b = p // bucket
+                bbv[b] = bbv.get(b, 0) + 1
+                ins = code[p] if 0 <= p < code_len else None
+                sim.step()
+                done += 1
+                if cap and ins is not None and ins.is_branch:
+                    if ins.is_cond_branch:
+                        sim.branch_trace.append((p, sim.pc != p + 1))
+                    elif ins.is_call:
+                        sim.ras_trace.append(p + 1)
+                    elif ins.is_ret and sim.ras_trace:
+                        sim.ras_trace.pop()
+            table.stepped += done
+            continue
+        sim.pc = pc
+        next_pc = blk.fn(sim, st, regs, frames[-1], rdm, wrm)
+        sim.pc = next_pc
+        table.replays += 1
+        for b, c in blk.bucket_runs(bucket):
+            bbv[b] = bbv.get(b, 0) + c
 
 
 def run_intervals(sim: FunctionalSim, interval_len: int, bucket: int):

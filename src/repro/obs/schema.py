@@ -87,6 +87,8 @@ COUNTERS: Tuple[str, ...] = (
     "sampling.detailed_instructions",
     "sampling.detailed_cycles",
     "sampling.est_cycles",
+    "sampling.rse_rounds",       # adaptive convergence rounds run
+    "sampling.intervals_added",  # intervals beyond the starting budget
     # functional decoded-block cache (repro.functional.blocks; set by
     # the sampler over the profiling + fast-forward passes)
     "functional.block_decodes",        # static blocks compiled (misses)
@@ -118,6 +120,7 @@ SPANS: Tuple[str, ...] = (
     "fast_forward",          # functional warmup to a checkpoint
     "warmup",                # detailed (unmeasured) warmup interval
     "detailed",              # measured detailed interval
+    "rse_round",             # one adaptive-convergence round
 )
 
 #: Distribution (histogram) names (``registry.dist``).

@@ -12,14 +12,23 @@ from .checkpoint import (
     Checkpoint, CheckpointingSim, WarmupTrace, fast_forward,
     take_checkpoint,
 )
+from .memfeat import (
+    MemCaptureCheckpointingSim, MemCaptureSim, MemSketch,
+    ReuseCollector,
+)
 from .sampler import (
-    IntervalProfile, SamplingConfig, SamplingError, SamplingMeta,
-    profile_intervals, run_sampled, seed_machine, select_intervals,
+    DEFAULT_RSE_METRICS, SAMPLING_MODES, IntervalProfile,
+    SamplingConfig, SamplingError, SamplingMeta, profile_intervals,
+    profile_with_checkpoints, run_sampled, seed_machine,
+    select_intervals,
 )
 
 __all__ = [
     "Checkpoint", "CheckpointingSim", "WarmupTrace", "fast_forward",
     "take_checkpoint", "IntervalProfile", "SamplingConfig",
     "SamplingError", "SamplingMeta", "profile_intervals",
-    "run_sampled", "seed_machine", "select_intervals",
+    "profile_with_checkpoints", "run_sampled", "seed_machine",
+    "select_intervals", "MemSketch", "ReuseCollector",
+    "MemCaptureSim", "MemCaptureCheckpointingSim", "SAMPLING_MODES",
+    "DEFAULT_RSE_METRICS",
 ]

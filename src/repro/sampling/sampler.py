@@ -26,7 +26,7 @@ Two properties keep the estimates honest:
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.asm.layout import WINDOW_STRIDE_BYTES, thread_window_base
@@ -40,10 +40,22 @@ from repro.pipeline.stats import SimStats, ThreadStats
 
 from .checkpoint import Checkpoint, CheckpointingSim, fast_forward, \
     take_checkpoint
+from .memfeat import (MemCaptureCheckpointingSim, MemCaptureSim,
+                      MemSketch, ReuseCollector)
 
 __all__ = ["SamplingConfig", "SamplingMeta", "SamplingError",
-           "IntervalProfile", "profile_intervals", "select_intervals",
-           "seed_machine", "run_sampled"]
+           "IntervalProfile", "profile_intervals",
+           "profile_with_checkpoints", "select_intervals",
+           "seed_machine", "run_sampled", "SAMPLING_MODES",
+           "DEFAULT_RSE_METRICS"]
+
+#: Representative-selection modes understood by
+#: :func:`select_intervals`.
+SAMPLING_MODES = ("systematic", "bbv", "bbv+mem")
+
+#: Metrics whose relative standard error drives the adaptive loop by
+#: default (overridable per run via ``rse_metrics``).
+DEFAULT_RSE_METRICS = ("ipc", "spills", "fills")
 
 
 class SamplingError(ValueError):
@@ -82,6 +94,20 @@ class SamplingConfig:
             builds up by running; the prefix absorbs that transient.
         bbv_bucket: static-code granularity of the basic-block vector
             (instruction indices are bucketed by ``pc // bbv_bucket``).
+        mem_weight: weight of the memory-signature feature block in
+            ``bbv+mem`` clustering (the BBV block gets
+            ``1 - mem_weight``).
+        sketch_cap: LRU-stack bound of the reuse-distance sketch
+            (``repro.sampling.memfeat``).
+        line_bytes: cache-line granularity of the sketch.
+        rse_target: adaptive convergence mode when set — keep adding
+            representative intervals until every metric in
+            ``rse_metrics`` has relative standard error at or below
+            this target, or ``max_detailed`` intervals have been
+            simulated.  ``n_detailed`` becomes the *starting* budget.
+        rse_metrics: metrics-of-interest for the adaptive loop (a
+            subset of the reported error fields).
+        max_detailed: hard cap on detailed intervals in adaptive mode.
     """
 
     interval_len: int = 2000
@@ -94,6 +120,12 @@ class SamplingConfig:
     warm_rename: bool = True
     warmup_insns: int = 500
     bbv_bucket: int = 8
+    mem_weight: float = 0.5
+    sketch_cap: int = 256
+    line_bytes: int = 64
+    rse_target: Optional[float] = None
+    rse_metrics: Tuple[str, ...] = DEFAULT_RSE_METRICS
+    max_detailed: int = 64
 
 
 @dataclass
@@ -103,6 +135,9 @@ class IntervalProfile:
     counts: List[int]                 # instructions per interval
     bbvs: List[Dict[int, int]]        # per-interval basic-block vectors
     total: FunctionalStats            # exact whole-run event counts
+    #: Per-interval memory signatures (``None`` unless the profiling
+    #: pass ran with a capture collector).
+    mem: Optional[List[MemSketch]] = None
 
     @property
     def n_intervals(self) -> int:
@@ -117,6 +152,13 @@ class SamplingMeta:
     weighted per-instruction rate (0.0 when every interval agrees or
     only one interval ran); ``speedup`` is estimated full-run cycles
     divided by detailed cycles actually simulated.
+
+    Adaptive (``rse_target``) runs additionally carry ``rounds`` —
+    one record per convergence round (``round``, ``requested``,
+    ``added``, ``n_detailed``, ``max_rse``, ``errors``) —
+    ``intervals_added`` (detailed intervals beyond the starting
+    budget) and ``converged`` (whether the loop met the target rather
+    than hitting the hard cap).
     """
 
     mode: str
@@ -128,6 +170,11 @@ class SamplingMeta:
     detailed_cycles: int
     est_cycles: int
     errors: Dict[str, float] = field(default_factory=dict)
+    rse_target: Optional[float] = None
+    rse_metrics: Tuple[str, ...] = ()
+    rounds: List[Dict[str, object]] = field(default_factory=list)
+    intervals_added: int = 0
+    converged: bool = True
 
     @property
     def speedup(self) -> float:
@@ -136,7 +183,7 @@ class SamplingMeta:
         return self.est_cycles / self.detailed_cycles
 
     def to_dict(self) -> Dict[str, object]:
-        return {
+        d = {
             "mode": self.mode,
             "interval_len": self.interval_len,
             "n_intervals": self.n_intervals,
@@ -148,6 +195,15 @@ class SamplingMeta:
             "speedup": self.speedup,
             "errors": dict(self.errors),
         }
+        if self.rse_target is not None:
+            d["rse"] = {
+                "target": self.rse_target,
+                "metrics": list(self.rse_metrics),
+                "rounds": [dict(r) for r in self.rounds],
+                "intervals_added": self.intervals_added,
+                "converged": self.converged,
+            }
+        return d
 
 
 # ======================================================================
@@ -155,7 +211,9 @@ class SamplingMeta:
 # ======================================================================
 def profile_intervals(program: Program, interval_len: int,
                       bbv_bucket: int = 8,
-                      mode: Optional[str] = None) -> IntervalProfile:
+                      mode: Optional[str] = None,
+                      collector: Optional[ReuseCollector] = None,
+                      ) -> IntervalProfile:
     """Split a functional run into fixed-length intervals.
 
     The final interval may be short (the run rarely divides evenly);
@@ -167,19 +225,30 @@ def profile_intervals(program: Program, interval_len: int,
     counts, BBVs (including dict insertion order) and totals are
     bit-identical to the per-instruction loop, which
     ``tests/test_functional_blocks.py`` asserts.
+
+    With a ``collector`` the pass also captures per-interval memory
+    signatures (``profile.mem``) for ``bbv+mem`` selection; without
+    one the simulator's memory hot path is untouched.
     """
     if interval_len <= 0:
         raise SamplingError(f"interval_len must be positive, "
                             f"got {interval_len}")
-    sim = FunctionalSim(program, mode=mode)
+    sim = (MemCaptureSim(program, collector, mode=mode)
+           if collector is not None
+           else FunctionalSim(program, mode=mode))
     counts: List[int] = []
     bbvs: List[Dict[int, int]] = []
+    mem: Optional[List[MemSketch]] = \
+        [] if collector is not None else None
     if sim.mode != "interp":
         from repro.functional.blocks import run_intervals
         for count, bbv in run_intervals(sim, interval_len, bbv_bucket):
             counts.append(count)
             bbvs.append(bbv)
-        return IntervalProfile(counts=counts, bbvs=bbvs, total=sim.stats)
+            if collector is not None:
+                mem.append(collector.snapshot())
+        return IntervalProfile(counts=counts, bbvs=bbvs,
+                               total=sim.stats, mem=mem)
     while not sim.halted:
         start = sim.stats.instructions
         bbv: Dict[int, int] = {}
@@ -190,7 +259,104 @@ def profile_intervals(program: Program, interval_len: int,
             sim.step()
         counts.append(sim.stats.instructions - start)
         bbvs.append(bbv)
-    return IntervalProfile(counts=counts, bbvs=bbvs, total=sim.stats)
+        if collector is not None:
+            mem.append(collector.snapshot())
+    return IntervalProfile(counts=counts, bbvs=bbvs, total=sim.stats,
+                           mem=mem)
+
+
+def _advance_profiling(sim: CheckpointingSim, n: int, bucket: int,
+                       bbv: Dict[int, int]) -> None:
+    """Advance ``sim`` up to ``n`` instructions with BBV capture *and*
+    fast-forward-equivalent branch/RAS capture.
+
+    The per-leg primitive of :func:`profile_with_checkpoints`; stops
+    early at ``HALT``.
+    """
+    if n <= 0 or sim.halted:
+        return
+    if sim.mode != "interp" and sim.trace is None:
+        from repro.functional.blocks import advance_bbv
+        sim._cap = True
+        try:
+            advance_bbv(sim, sim.stats.instructions + n, bucket, bbv)
+        finally:
+            sim._cap = False
+        return
+    code = sim.program.code
+    done = 0
+    while done < n and not sim.halted:
+        pc = sim.pc
+        b = pc // bucket
+        bbv[b] = bbv.get(b, 0) + 1
+        ins = code[pc]
+        sim.step()
+        done += 1
+        if ins.is_branch:
+            if ins.is_cond_branch:
+                sim.branch_trace.append((pc, sim.pc != pc + 1))
+            elif ins.is_call:
+                sim.ras_trace.append(pc + 1)
+            elif ins.is_ret and sim.ras_trace:
+                sim.ras_trace.pop()
+
+
+def profile_with_checkpoints(program: Program, scfg: SamplingConfig,
+                             collector: Optional[ReuseCollector] = None,
+                             ) -> Tuple[IntervalProfile,
+                                        List[Checkpoint]]:
+    """One functional pass: the interval profile *and* a checkpoint at
+    every interval's warmup start (``max(0, start - warmup_insns)``).
+
+    This is what lets the adaptive loop add representatives in later
+    rounds without ever re-running the functional pass: any interval's
+    checkpoint — warmup traces included — already exists.  Checkpoint
+    ``i`` is bit-identical to what the fixed-count flow's sequential
+    fast-forward would take for interval ``i``, because capture covers
+    the same contiguous prefix.
+
+    The profile (counts, BBVs including insertion order, totals) is
+    bit-identical to :func:`profile_intervals`: the extra stops at
+    checkpoint positions split BBV accumulation mid-interval, which is
+    associative over the split.
+    """
+    interval_len = scfg.interval_len
+    if interval_len <= 0:
+        raise SamplingError(f"interval_len must be positive, "
+                            f"got {interval_len}")
+    warmup = scfg.warmup_insns
+    if collector is not None:
+        sim: CheckpointingSim = MemCaptureCheckpointingSim(
+            program, collector, mem_window=scfg.warmup_mem,
+            branch_window=scfg.warmup_branches)
+    else:
+        sim = CheckpointingSim(program, mem_window=scfg.warmup_mem,
+                               branch_window=scfg.warmup_branches)
+    counts: List[int] = []
+    bbvs: List[Dict[int, int]] = []
+    mem: Optional[List[MemSketch]] = \
+        [] if collector is not None else None
+    ckpts: List[Checkpoint] = []
+    bbv: Dict[int, int] = {}
+    while not sim.halted:
+        pos = sim.stats.instructions
+        ckpt_at = max(0, len(ckpts) * interval_len - warmup)
+        if ckpt_at <= pos:
+            ckpts.append(take_checkpoint(sim))
+            continue
+        boundary = (len(counts) + 1) * interval_len
+        _advance_profiling(sim, min(ckpt_at, boundary) - pos,
+                           scfg.bbv_bucket, bbv)
+        pos = sim.stats.instructions
+        if sim.halted or pos == boundary:
+            counts.append(pos - len(counts) * interval_len)
+            bbvs.append(bbv)
+            bbv = {}
+            if collector is not None:
+                mem.append(collector.snapshot())
+    profile = IntervalProfile(counts=counts, bbvs=bbvs,
+                              total=sim.stats, mem=mem)
+    return profile, ckpts
 
 
 # ======================================================================
@@ -210,8 +376,14 @@ def select_intervals(profile: IntervalProfile, scfg: SamplingConfig,
         return _select_systematic(n, k)
     if scfg.mode == "bbv":
         return _select_bbv(profile.bbvs, k)
+    if scfg.mode == "bbv+mem":
+        if profile.mem is None:
+            raise SamplingError(
+                "'bbv+mem' selection needs memory signatures; profile "
+                "the workload with a ReuseCollector")
+        return _select_clustered(_combined_matrix(profile, scfg), k)
     raise SamplingError(f"unknown sampling mode {scfg.mode!r} "
-                        f"(expected 'systematic' or 'bbv')")
+                        f"(expected one of {SAMPLING_MODES})")
 
 
 def _select_systematic(n: int, k: int) -> Tuple[List[int], List[float]]:
@@ -235,25 +407,58 @@ def _select_bbv(bbvs: Sequence[Dict[int, int]], k: int,
                 ) -> Tuple[List[int], List[float]]:
     """SimPoint-like selection: cluster row-normalised BBVs and take
     each cluster's medoid, weighted by cluster population."""
+    return _select_clustered(_bbv_matrix(bbvs), k)
+
+
+def _bbv_matrix(bbvs: Sequence[Dict[int, int]]):
+    """Row-normalised BBV feature matrix (intervals × buckets).
+
+    Column order is first-appearance order of buckets, so the matrix —
+    and everything clustered from it — is deterministic.
+    """
     import numpy as np
 
-    from repro.workloads.clustering import cluster_and_select
-
-    n = len(bbvs)
-    if n == 1 or k == 1:
-        return _select_systematic(n, k)
     columns: Dict[int, int] = {}
     for bbv in bbvs:
         for bucket in bbv:
             if bucket not in columns:
                 columns[bucket] = len(columns)
-    matrix = np.zeros((n, len(columns)))
+    matrix = np.zeros((len(bbvs), len(columns)))
     for i, bbv in enumerate(bbvs):
         for bucket, count in bbv.items():
             matrix[i, columns[bucket]] = count
     norms = matrix.sum(axis=1, keepdims=True)
     norms[norms == 0] = 1.0
-    result = cluster_and_select(matrix / norms, k)
+    return matrix / norms
+
+
+def _combined_matrix(profile: IntervalProfile, scfg: SamplingConfig):
+    """BBV block scaled by ``1 - mem_weight`` hstacked with the
+    memory-signature block scaled by ``mem_weight``.
+
+    Both blocks are per-row distributions (BBV rows sum to 1; sketch
+    features are bin fractions plus a per-instruction line rate), so
+    the weight split directly controls their influence on euclidean
+    clustering distance.
+    """
+    import numpy as np
+
+    w = min(max(scfg.mem_weight, 0.0), 1.0)
+    bbv = _bbv_matrix(profile.bbvs) * (1.0 - w)
+    mem = np.array([s.features(c) for s, c in
+                    zip(profile.mem, profile.counts)]) * w
+    return np.hstack([bbv, mem])
+
+
+def _select_clustered(matrix, k: int) -> Tuple[List[int], List[float]]:
+    """Cluster feature rows, take each cluster's medoid, weight by
+    cluster population."""
+    from repro.workloads.clustering import cluster_and_select
+
+    n = matrix.shape[0]
+    if n == 1 or k == 1:
+        return _select_systematic(n, k)
+    result = cluster_and_select(matrix, k)
     labels = [int(x) for x in result.labels]
     reps = sorted(int(r) for r in result.representatives)
     weights = []
@@ -262,6 +467,40 @@ def _select_bbv(bbvs: Sequence[Dict[int, int]], k: int,
         weights.append(float(sum(1 for lab in labels
                                  if lab == cluster)))
     return reps, weights
+
+
+def _weights_for(profile: IntervalProfile, reps: Sequence[int],
+                 scfg: SamplingConfig) -> List[float]:
+    """Weights for an *arbitrary* representative set.
+
+    The adaptive loop accumulates representatives across rounds, so
+    the union no longer matches any single clustering's medoid set;
+    every interval is assigned to its nearest representative —
+    feature-space distance for the clustered modes, interval distance
+    for systematic — and each representative's weight is the number of
+    intervals it stands for (``sum(weights) == n_intervals``, the
+    invariant :func:`_extrapolate` relies on).
+    """
+    n = profile.n_intervals
+    if scfg.mode == "systematic":
+        weights = [0.0] * len(reps)
+        for j in range(n):
+            best = 0
+            for i in range(1, len(reps)):
+                if abs(reps[i] - j) < abs(reps[best] - j):
+                    best = i
+            weights[best] += 1.0
+        return weights
+    import numpy as np
+
+    matrix = (_combined_matrix(profile, scfg)
+              if scfg.mode == "bbv+mem" else _bbv_matrix(profile.bbvs))
+    rep_rows = matrix[list(reps)]
+    weights = [0.0] * len(reps)
+    for j in range(n):
+        dist = np.linalg.norm(rep_rows - matrix[j], axis=1)
+        weights[int(np.argmin(dist))] += 1.0
+    return weights
 
 
 # ======================================================================
@@ -469,6 +708,80 @@ def _extrapolate(samples: List[SimStats], weights: List[float],
 # ======================================================================
 # the sampled run
 # ======================================================================
+def _simulate_interval(model: str, cfg: MachineConfig,
+                       program: Program, scfg: SamplingConfig,
+                       profile: IntervalProfile, idx: int, start: int,
+                       ckpt: Checkpoint, sp,
+                       ) -> Tuple[SimStats, int, int]:
+    """Detailed simulation of one representative interval.
+
+    Builds a machine, seeds it from ``ckpt``, runs the detailed-warmup
+    prefix (``start - ckpt.instructions`` instructions, excluded from
+    the window) and measures the interval.  Returns ``(window_stats,
+    cycles, instructions)`` where the latter two count everything
+    actually simulated — warmup prefix included — i.e. the true
+    detailed cost of the sample.
+    """
+    machine = build_machine(model, cfg, [program])
+    seed_machine(machine, program, ckpt, scfg)
+    warm_n = start - ckpt.instructions
+    before = None
+    if warm_n:
+        with sp.span("warmup", interval=idx):
+            before = machine.run(commit_limit=warm_n).to_dict()
+    with sp.span("detailed", interval=idx) as dsp:
+        prof = None
+        if sp.enabled:
+            # Stage attribution rides on the detailed span; the
+            # profile is observational only, so SimStats stay
+            # bit-identical (tests/test_profile.py).
+            from repro.obs.profile import StageProfile
+            prof = StageProfile(machine)
+            prof.attach()
+        try:
+            stats = machine.run(
+                commit_limit=warm_n + profile.counts[idx])
+        finally:
+            if prof is not None:
+                prof.detach()
+                dsp.counters.update(
+                    {f"profile.{lbl}.seconds": round(secs, 6)
+                     for lbl, secs in prof.seconds.items()})
+    cycles = stats.cycles
+    instructions = stats.committed
+    if before is not None:
+        stats = _measured_window(before, stats)
+    return stats, cycles, instructions
+
+
+def _emit_metrics(metrics, meta: SamplingMeta, program: Program,
+                  est: SimStats) -> None:
+    """Publish the ``sampling.*`` counters and attach the registry."""
+    if metrics is None:
+        return
+    m = metrics
+    m.set("sampling.intervals_total", meta.n_intervals)
+    m.set("sampling.intervals_detailed", meta.n_detailed)
+    m.set("sampling.detailed_instructions",
+          meta.detailed_instructions)
+    m.set("sampling.detailed_cycles", meta.detailed_cycles)
+    m.set("sampling.est_cycles", meta.est_cycles)
+    if meta.rse_target is not None:
+        m.set("sampling.rse_rounds", len(meta.rounds))
+        m.set("sampling.intervals_added", meta.intervals_added)
+    # Block-cache effectiveness over the profiling + fast-forward
+    # passes (the table is shared per program object; all zero in
+    # interp mode).
+    table = getattr(program, "_block_table", None)
+    m.set("functional.block_decodes",
+          table.decoded if table else 0)
+    m.set("functional.block_replays",
+          table.replays if table else 0)
+    m.set("functional.block_step_fallback",
+          table.stepped if table else 0)
+    est.metrics = m.to_dict()
+
+
 def run_sampled(model: str, cfg: MachineConfig, program: Program,
                 scfg: Optional[SamplingConfig] = None, metrics=None,
                 ) -> Tuple[SimStats, SamplingMeta]:
@@ -479,6 +792,8 @@ def run_sampled(model: str, cfg: MachineConfig, program: Program,
         cfg: machine configuration (``n_threads`` must be 1).
         program: the assembled binary, in the model's ABI.
         scfg: sampling knobs; defaults to :class:`SamplingConfig`.
+            With ``rse_target`` set the adaptive convergence loop runs
+            instead of the fixed-count flow.
         metrics: optional :class:`repro.obs.metrics.MetricsRegistry`;
             receives the ``sampling.*`` counters and is attached to
             the returned stats.
@@ -492,8 +807,12 @@ def run_sampled(model: str, cfg: MachineConfig, program: Program,
     if cfg.n_threads != 1:
         raise SamplingError("sampled simulation is single-threaded; "
                             f"got n_threads={cfg.n_threads}")
+    if scfg.rse_target is not None:
+        return _run_adaptive(model, cfg, program, scfg, metrics)
+    collector = (ReuseCollector(scfg.sketch_cap, scfg.line_bytes)
+                 if scfg.mode == "bbv+mem" else None)
     profile = profile_intervals(program, scfg.interval_len,
-                                scfg.bbv_bucket)
+                                scfg.bbv_bucket, collector=collector)
     reps, weights = select_intervals(profile, scfg)
 
     # One sequential fast-forward visits every representative's start.
@@ -515,35 +834,10 @@ def run_sampled(model: str, cfg: MachineConfig, program: Program,
         with sp.span("fast_forward", interval=idx):
             fast_forward(ff_sim, ckpt_at - ff_sim.stats.instructions)
             ckpt = take_checkpoint(ff_sim)
-        machine = build_machine(model, cfg, [program])
-        seed_machine(machine, program, ckpt, scfg)
-        warm_n = start - ckpt_at
-        before = None
-        if warm_n:
-            with sp.span("warmup", interval=idx):
-                before = machine.run(commit_limit=warm_n).to_dict()
-        with sp.span("detailed", interval=idx) as dsp:
-            prof = None
-            if sp.enabled:
-                # Stage attribution rides on the detailed span; the
-                # profile is observational only, so SimStats stay
-                # bit-identical (tests/test_profile.py).
-                from repro.obs.profile import StageProfile
-                prof = StageProfile(machine)
-                prof.attach()
-            try:
-                stats = machine.run(
-                    commit_limit=warm_n + profile.counts[idx])
-            finally:
-                if prof is not None:
-                    prof.detach()
-                    dsp.counters.update(
-                        {f"profile.{lbl}.seconds": round(secs, 6)
-                         for lbl, secs in prof.seconds.items()})
-        detailed_cycles += stats.cycles
-        detailed_instructions += stats.committed
-        if before is not None:
-            stats = _measured_window(before, stats)
+        stats, cycles, instructions = _simulate_interval(
+            model, cfg, program, scfg, profile, idx, start, ckpt, sp)
+        detailed_cycles += cycles
+        detailed_instructions += instructions
         samples.append(stats)
 
     est, errors = _extrapolate(samples, weights, profile)
@@ -558,23 +852,114 @@ def run_sampled(model: str, cfg: MachineConfig, program: Program,
         est_cycles=est.cycles,
         errors=errors,
     )
-    if metrics is not None:
-        m = metrics
-        m.set("sampling.intervals_total", meta.n_intervals)
-        m.set("sampling.intervals_detailed", meta.n_detailed)
-        m.set("sampling.detailed_instructions",
-              meta.detailed_instructions)
-        m.set("sampling.detailed_cycles", meta.detailed_cycles)
-        m.set("sampling.est_cycles", meta.est_cycles)
-        # Block-cache effectiveness over the profiling + fast-forward
-        # passes (the table is shared per program object; all zero in
-        # interp mode).
-        table = getattr(program, "_block_table", None)
-        m.set("functional.block_decodes",
-              table.decoded if table else 0)
-        m.set("functional.block_replays",
-              table.replays if table else 0)
-        m.set("functional.block_step_fallback",
-              table.stepped if table else 0)
-        est.metrics = m.to_dict()
+    _emit_metrics(metrics, meta, program, est)
+    return est, meta
+
+
+def _run_adaptive(model: str, cfg: MachineConfig, program: Program,
+                  scfg: SamplingConfig, metrics=None,
+                  ) -> Tuple[SimStats, SamplingMeta]:
+    """Convergence-driven sampled simulation.
+
+    One combined functional pass captures the interval profile *and* a
+    checkpoint per interval (:func:`profile_with_checkpoints`); the
+    loop then starts from the ``n_detailed`` budget and grows it
+    geometrically (``k → k + max(1, k // 2)``, capped at
+    ``max_detailed``), each round selecting representatives at the new
+    budget, detail-simulating **only the delta set** — representatives
+    not simulated in any earlier round, so no interval is ever
+    re-warmed or re-measured — and re-extrapolating over the union.
+    It stops when every watched metric's relative standard error
+    reaches ``rse_target``, or at the cap.
+    """
+    target = scfg.rse_target
+    if target is None or target <= 0:
+        raise SamplingError(f"rse_target must be positive, "
+                            f"got {target}")
+    if not scfg.rse_metrics:
+        raise SamplingError("rse_metrics must name at least one "
+                            "metric")
+    bad = [name for name in scfg.rse_metrics
+           if name not in _ERROR_FIELDS]
+    if bad:
+        raise SamplingError(f"unknown rse metrics {bad} (expected a "
+                            f"subset of {list(_ERROR_FIELDS)})")
+    collector = (ReuseCollector(scfg.sketch_cap, scfg.line_bytes)
+                 if scfg.mode == "bbv+mem" else None)
+    profile, ckpts = profile_with_checkpoints(program, scfg, collector)
+    n = profile.n_intervals
+    cap = max(1, min(scfg.max_detailed, n))
+    k = max(1, min(scfg.n_detailed, cap))
+    boundaries = [0]
+    for count in profile.counts:
+        boundaries.append(boundaries[-1] + count)
+    sp = current_spans()
+    simulated: Dict[int, SimStats] = {}
+    detailed_cycles = 0
+    detailed_instructions = 0
+    rounds: List[Dict[str, object]] = []
+    converged = False
+    est: Optional[SimStats] = None
+    errors: Dict[str, float] = {}
+    start_budget: Optional[int] = None
+    while True:
+        reps, _ = select_intervals(profile,
+                                   replace(scfg, n_detailed=k))
+        new = [idx for idx in reps if idx not in simulated]
+        # ``max_detailed`` caps the *total* detailed intervals, not
+        # just the per-round budget: later clusterings need not reuse
+        # earlier medoids, so the union could otherwise overshoot.
+        new = new[:cap - len(simulated)]
+        with sp.span("rse_round", round=len(rounds) + 1, requested=k,
+                     added=len(new)):
+            for idx in new:
+                stats, cycles, instructions = _simulate_interval(
+                    model, cfg, program, scfg, profile, idx,
+                    boundaries[idx], ckpts[idx], sp)
+                simulated[idx] = stats
+                detailed_cycles += cycles
+                detailed_instructions += instructions
+            union = sorted(simulated)
+            weights = _weights_for(profile, union, scfg)
+            est, errors = _extrapolate(
+                [simulated[idx] for idx in union], weights, profile)
+        watched = {name: errors[name] for name in scfg.rse_metrics}
+        max_rse = max(watched.values())
+        if start_budget is None:
+            start_budget = len(union)
+        rounds.append({
+            "round": len(rounds) + 1,
+            "requested": k,
+            "added": len(new),
+            "n_detailed": len(union),
+            "max_rse": max_rse,
+            "errors": watched,
+        })
+        # A single sample has zero variance by construction; don't let
+        # that count as convergence unless it IS the whole run.
+        if max_rse <= target and (len(union) >= 2 or len(union) == n):
+            converged = True
+            break
+        if k >= cap:
+            break
+        k = min(cap, k + max(1, k // 2))
+
+    union = sorted(simulated)
+    meta = SamplingMeta(
+        mode=scfg.mode,
+        interval_len=scfg.interval_len,
+        n_intervals=n,
+        n_detailed=len(union),
+        total_instructions=profile.total.instructions,
+        detailed_instructions=detailed_instructions,
+        detailed_cycles=detailed_cycles,
+        est_cycles=est.cycles,
+        errors=errors,
+        rse_target=target,
+        rse_metrics=tuple(scfg.rse_metrics),
+        rounds=rounds,
+        intervals_added=len(union) - start_budget,
+        converged=converged,
+    )
+    _emit_metrics(metrics, meta, program, est)
     return est, meta

@@ -533,6 +533,17 @@ class Scheduler:
         rec.update(status=status, payload=payload, error=error,
                    elapsed=elapsed)
         self.metrics.inc(f"service.points.{status}")
+        if status == "done" and payload is not None:
+            # Adaptive-sampling rollup: points execute in worker
+            # processes, so the convergence counters ride back in the
+            # payload and aggregate here into the service registry
+            # (surfaced by /metrics).
+            rounds = payload.get("sample_rse_rounds", 0)
+            if rounds:
+                self.metrics.inc("sampling.rse_rounds", rounds)
+                self.metrics.inc(
+                    "sampling.intervals_added",
+                    payload.get("sample_intervals_added", 0))
         if job.spans is not None and not spans:
             end_t = time.time()
             job.spans.record(

@@ -25,6 +25,9 @@ from repro.functional import (
 from repro.sampling.checkpoint import (
     Checkpoint, CheckpointingSim, fast_forward, take_checkpoint,
 )
+from repro.sampling.memfeat import (
+    MemCaptureSim, ReuseCollector, n_buckets,
+)
 from repro.sampling.sampler import profile_intervals
 from repro.workloads.generator import BenchmarkBuilder, benchmark_program
 from repro.workloads.profiles import BenchmarkProfile
@@ -296,3 +299,111 @@ def test_trace_forces_interp_path():
     sim = FunctionalSim(program, trace=True, mode="blocks")
     stats = sim.run()
     assert len(sim.trace) == stats.instructions
+
+
+# ---------------------------------------------------------------------------
+# memory-signature capture (repro.sampling.memfeat)
+# ---------------------------------------------------------------------------
+
+addr_trace = st.lists(st.integers(min_value=0, max_value=1 << 14),
+                      min_size=0, max_size=300)
+
+
+@given(trace=addr_trace,
+       cuts=st.lists(st.integers(min_value=0, max_value=300),
+                     min_size=0, max_size=5),
+       cap=st.sampled_from([1, 4, 64]))
+@settings(max_examples=60, deadline=None)
+def test_sketch_merge_equals_concatenated_trace(trace, cuts, cap):
+    """Merging per-segment sketches cut from one stateful collector
+    equals the single sketch of the whole trace, at every split."""
+    one = ReuseCollector(cap=cap, line_bytes=64)
+    for a in trace:
+        one.touch(a)
+    whole = one.snapshot()
+
+    split = ReuseCollector(cap=cap, line_bytes=64)
+    bounds = sorted({c % (len(trace) + 1) for c in cuts})
+    parts = []
+    prev = 0
+    for b in bounds + [len(trace)]:
+        for a in trace[prev:b]:
+            split.touch(a)
+        parts.append(split.snapshot())
+        prev = b
+    merged = parts[0]
+    for s in parts[1:]:
+        merged = merged.merge(s)
+    assert merged == whole
+
+
+@given(trace=addr_trace, cap=st.sampled_from([1, 2, 16]))
+@settings(max_examples=60, deadline=None)
+def test_sketch_memory_is_bounded(trace, cap):
+    """The LRU stack never exceeds ``cap`` and the histogram never
+    grows: memory is O(cap + touched lines), independent of trace
+    length."""
+    col = ReuseCollector(cap=cap, line_bytes=64)
+    for a in trace:
+        col.touch(a)
+        assert col.resident <= cap
+    sketch = col.snapshot()
+    assert len(sketch.reuse) == n_buckets(cap)
+    assert sketch.accesses == len(trace)
+    assert sum(sketch.reuse) == len(trace)
+    assert sketch.touched == len({a // 64 for a in trace})
+    assert col.resident <= cap  # the stack survives the snapshot cut
+
+
+def test_sketch_validation():
+    with pytest.raises(ValueError):
+        ReuseCollector(cap=0)
+    with pytest.raises(ValueError):
+        ReuseCollector(line_bytes=0)
+    a = ReuseCollector(cap=4).snapshot()
+    b = ReuseCollector(cap=64).snapshot()
+    with pytest.raises(ValueError):
+        a.merge(b)
+
+
+@pytest.mark.parametrize("mode", ["interp", "blocks"])
+@given(profile=profile_strategy)
+@settings(max_examples=4, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+def test_mem_capture_off_vs_on_bit_identity(mode, profile):
+    """Running with a capture collector changes *nothing* observable:
+    FunctionalStats, architectural state, interval counts and BBVs are
+    bit-identical to the capture-off run in both engine modes."""
+    program = build_program(profile, "windowed")
+    ref = FunctionalSim(program, mode=mode)
+    ref_stats = ref.run()
+    sim = MemCaptureSim(program, ReuseCollector(64, 64), mode=mode)
+    stats = sim.run()
+    assert stats == ref_stats
+    assert canon(sim.save_state()) == canon(ref.save_state())
+
+    p_ref = profile_intervals(program, 500, mode=mode)
+    col = ReuseCollector(64, 64)
+    p_cap = profile_intervals(program, 500, mode=mode, collector=col)
+    assert p_cap.counts == p_ref.counts
+    assert p_cap.bbvs == p_ref.bbvs
+    assert dataclasses.asdict(p_cap.total) \
+        == dataclasses.asdict(p_ref.total)
+    assert p_ref.mem is None
+    assert len(p_cap.mem) == p_cap.n_intervals
+
+
+@given(profile=profile_strategy)
+@settings(max_examples=4, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+def test_mem_capture_mode_agnostic(profile):
+    """The block replay path routes all memory traffic through the
+    bound read/write hooks, so the captured sketches are identical to
+    interp capture — access order included."""
+    program = build_program(profile, "windowed")
+    sketches = {}
+    for mode in ("interp", "blocks"):
+        col = ReuseCollector(64, 64)
+        sketches[mode] = profile_intervals(program, 500, mode=mode,
+                                           collector=col).mem
+    assert sketches["interp"] == sketches["blocks"]

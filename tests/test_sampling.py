@@ -342,3 +342,202 @@ def test_run_point_sampled_roundtrips_through_cache(tmp_path,
     assert again == sampled
     with pytest.raises(ValueError):
         runner.run_point("baseline", ("fib", "fib"), 256, sample=True)
+
+
+# ======================================================================
+# adaptive convergence (rse_target)
+# ======================================================================
+def _stub_interval_sim(calls):
+    """A fake ``_simulate_interval``: interval ``idx`` costs
+    ``1000 + 4*idx`` cycles (a gentle linear gradient, so the weighted
+    rate variance is stable across budgets and the RSE shrinks as
+    samples accumulate).  Records every (re-)simulation per index."""
+    from repro.pipeline.stats import SimStats, ThreadStats
+
+    def fake(model, cfg, program, scfg, profile, idx, start, ckpt, sp):
+        calls[idx] = calls.get(idx, 0) + 1
+        stats = SimStats(threads=[ThreadStats()])
+        stats.cycles = 1000 + 4 * idx
+        stats.threads[0].committed = profile.counts[idx]
+        return stats, stats.cycles, profile.counts[idx]
+
+    return fake
+
+
+def _adaptive_fixture(monkeypatch, n_intervals=32):
+    """Stub the detailed simulator and count functional passes; the
+    profiling pass itself runs for real on a tiny synthetic profile
+    via monkeypatched ``profile_with_checkpoints``."""
+    from repro.functional.interp import FunctionalStats
+    from repro.sampling import sampler
+
+    passes = {"n": 0}
+    calls: dict = {}
+
+    def fake_pwc(program, scfg, collector=None):
+        passes["n"] += 1
+        profile = IntervalProfile(
+            counts=[100] * n_intervals,
+            bbvs=[{i: 100} for i in range(n_intervals)],
+            total=FunctionalStats(instructions=100 * n_intervals))
+        ckpts = [object()] * n_intervals
+        return profile, ckpts
+
+    monkeypatch.setattr(sampler, "profile_with_checkpoints", fake_pwc)
+    monkeypatch.setattr(
+        sampler, "profile_intervals",
+        lambda *a, **k: pytest.fail("adaptive mode re-ran the "
+                                    "functional profiling pass"))
+    monkeypatch.setattr(sampler, "_simulate_interval",
+                        _stub_interval_sim(calls))
+    return passes, calls
+
+
+def test_adaptive_monotone_rse_and_delta_set(monkeypatch):
+    """Each round's max RSE is non-increasing, every interval is
+    simulated exactly once (round N+1 touches only the delta set), and
+    the functional pass runs exactly once."""
+    passes, calls = _adaptive_fixture(monkeypatch)
+    program = benchmark_program("fib", "flat", thread=0)
+    cfg = MachineConfig.baseline(phys_regs=256)
+    stats, meta = run_sampled(
+        "baseline", cfg, program,
+        SamplingConfig(interval_len=100, n_detailed=2,
+                       rse_target=0.01, rse_metrics=("ipc",),
+                       max_detailed=32))
+    assert passes["n"] == 1
+    assert calls and all(v == 1 for v in calls.values())
+    rses = [r["max_rse"] for r in meta.rounds]
+    assert len(rses) >= 2          # did not converge on the first try
+    assert all(a >= b for a, b in zip(rses, rses[1:]))
+    assert meta.converged
+    assert meta.errors["ipc"] <= 0.01
+    assert meta.n_detailed == meta.rounds[-1]["n_detailed"]
+    assert meta.intervals_added \
+        == meta.n_detailed - meta.rounds[0]["n_detailed"]
+    assert sum(r["added"] for r in meta.rounds) == meta.n_detailed
+
+
+def test_adaptive_hard_cap_on_nonconverging_metric(monkeypatch):
+    """An unreachable target terminates at ``max_detailed`` with
+    ``converged=False`` — never more detailed intervals than the cap,
+    never an endless loop."""
+    passes, calls = _adaptive_fixture(monkeypatch)
+    program = benchmark_program("fib", "flat", thread=0)
+    cfg = MachineConfig.baseline(phys_regs=256)
+    stats, meta = run_sampled(
+        "baseline", cfg, program,
+        SamplingConfig(interval_len=100, n_detailed=2,
+                       rse_target=1e-9, rse_metrics=("ipc",),
+                       max_detailed=6))
+    assert passes["n"] == 1
+    assert not meta.converged
+    assert meta.n_detailed == 6
+    assert all(v == 1 for v in calls.values())
+    assert len(calls) == 6
+    d = meta.to_dict()
+    assert d["rse"]["converged"] is False
+    assert [r["round"] for r in d["rse"]["rounds"]] \
+        == list(range(1, len(meta.rounds) + 1))
+
+
+def test_adaptive_selection_is_deterministic(monkeypatch):
+    """Two identical adaptive runs simulate the same intervals in the
+    same rounds and produce identical metadata."""
+    runs = []
+    for _ in range(2):
+        with pytest.MonkeyPatch.context() as mp:
+            passes, calls = _adaptive_fixture(mp)
+            program = benchmark_program("fib", "flat", thread=0)
+            cfg = MachineConfig.baseline(phys_regs=256)
+            stats, meta = run_sampled(
+                "baseline", cfg, program,
+                SamplingConfig(interval_len=100, n_detailed=2,
+                               mode="bbv", rse_target=0.01,
+                               rse_metrics=("ipc",), max_detailed=32))
+            runs.append((sorted(calls), meta.to_dict(),
+                         stats.cycles))
+    assert runs[0] == runs[1]
+
+
+def test_adaptive_validates_config():
+    program = benchmark_program("fib", "flat", thread=0)
+    cfg = MachineConfig.baseline(phys_regs=256)
+    with pytest.raises(SamplingError):
+        run_sampled("baseline", cfg, program,
+                    SamplingConfig(rse_target=-0.1))
+    with pytest.raises(SamplingError):
+        run_sampled("baseline", cfg, program,
+                    SamplingConfig(rse_target=0.01,
+                                   rse_metrics=("bogus",)))
+    with pytest.raises(SamplingError):
+        run_sampled("baseline", cfg, program,
+                    SamplingConfig(rse_target=0.01, rse_metrics=()))
+
+
+def test_adaptive_end_to_end_real_simulator():
+    """No stubs: the adaptive loop on a real fib run converges to the
+    requested target and reports the per-round trail."""
+    program = benchmark_program("fib", model_abi("vca-rw"), thread=0)
+    cfg = MachineConfig.baseline(phys_regs=256)
+    stats, meta = run_sampled(
+        "vca-rw", cfg, program,
+        SamplingConfig(interval_len=1000, n_detailed=2,
+                       rse_target=0.05, rse_metrics=("ipc",),
+                       max_detailed=16))
+    assert meta.converged
+    assert meta.errors["ipc"] <= 0.05
+    assert meta.rounds[-1]["n_detailed"] == meta.n_detailed
+    assert stats.cycles == meta.est_cycles > 0
+    # The exact instruction mix still comes from the functional pass.
+    golden = FunctionalSim(program)
+    golden.run()
+    assert stats.threads[0].committed == golden.stats.instructions
+
+
+def test_profile_with_checkpoints_matches_plain_profile():
+    """The combined pass produces a bit-identical profile and one
+    checkpoint per interval at exactly the warmup-start boundary —
+    this is what lets added rounds skip the functional pass."""
+    import dataclasses as dc
+
+    from repro.sampling import profile_with_checkpoints
+    program = benchmark_program("fib", model_abi("vca-rw"), thread=0)
+    scfg = SamplingConfig(interval_len=1500, warmup_insns=400)
+    plain = profile_intervals(program, 1500)
+    combined, ckpts = profile_with_checkpoints(program, scfg)
+    assert combined.counts == plain.counts
+    assert combined.bbvs == plain.bbvs
+    assert [list(b) for b in combined.bbvs] \
+        == [list(b) for b in plain.bbvs]
+    assert dc.asdict(combined.total) == dc.asdict(plain.total)
+    assert len(ckpts) >= combined.n_intervals
+    for i in range(combined.n_intervals):
+        assert ckpts[i].instructions == max(0, i * 1500 - 400)
+    # And the checkpoints equal what a sequential fast-forward takes.
+    ff = CheckpointingSim(program)
+    for i in range(combined.n_intervals):
+        at = max(0, i * 1500 - 400)
+        fast_forward(ff, at - ff.stats.instructions)
+        assert (json.dumps(take_checkpoint(ff).to_dict(),
+                           sort_keys=True)
+                == json.dumps(ckpts[i].to_dict(), sort_keys=True))
+
+
+def test_select_bbv_mem_requires_signatures():
+    pytest.importorskip("numpy")
+    with pytest.raises(SamplingError):
+        select_intervals(_fake_profile(8),
+                         SamplingConfig(n_detailed=3, mode="bbv+mem"))
+
+
+def test_run_sampled_bbv_mem_mode():
+    pytest.importorskip("numpy")
+    program = benchmark_program("fib", "flat", thread=0)
+    cfg = MachineConfig.baseline(phys_regs=256)
+    stats, meta = run_sampled(
+        "baseline", cfg, program,
+        SamplingConfig(interval_len=1000, n_detailed=3,
+                       mode="bbv+mem", mem_weight=0.7))
+    assert meta.mode == "bbv+mem"
+    assert stats.cycles > 0

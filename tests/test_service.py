@@ -425,3 +425,57 @@ class TestServiceHTTP:
         assert summary["header"]["run_id"] == jid
         assert summary["end"]["status"] == "ok"
         assert summary["counts"] == {"done": 1}
+
+    def test_adaptive_sampling_end_to_end(self, cache):
+        """An adaptive sampled point submitted over HTTP: the
+        ``sample_rse`` knobs survive the JSON round-trip to the worker,
+        the fetched payload carries the per-round convergence trail,
+        and the scheduler rolls the round counts up into /metrics."""
+        import dataclasses
+
+        pt = dataclasses.replace(
+            Point.run("vca-rw", ("fib",), 256),
+            sample=True, sample_interval=1000, sample_count=2,
+            sample_rse=0.05, sample_rse_metrics=("ipc",),
+            sample_max=16)
+        # The adaptive knobs are identity-bearing: the key must differ
+        # from the same point run at a fixed budget.
+        fixed = dataclasses.replace(pt, sample_rse=None)
+        assert pt.cache_key() != fixed.cache_key()
+        assert Point.from_dict(pt.to_dict()) == pt
+
+        with Scheduler(workers=2) as sched:
+            with ServiceServer(sched, port=0) as server:
+                client = ServiceClient(server.url, timeout=30)
+                jid = client.submit([pt.to_dict()], tenant="alice",
+                                    label="adaptive")
+                snap = client.wait(jid, timeout=180)
+                assert snap["status"] == "done"
+
+                (rec,) = client.results(jid)
+                assert rec["key"] == pt.cache_key()
+                payload = rec["payload"]
+                # The worker saw the adaptive config, not the fixed
+                # one, and reports the convergence metadata back.
+                assert payload["sample_rse_target"] == 0.05
+                assert payload["sample_converged"] is True
+                rounds = payload["sample_rounds"]
+                assert payload["sample_rse_rounds"] == len(rounds) >= 1
+                for i, rnd in enumerate(rounds):
+                    assert rnd["round"] == i + 1
+                    assert rnd["n_detailed"] >= 1
+                    assert "max_rse" in rnd and "errors" in rnd
+                assert rounds[-1]["max_rse"] <= 0.05
+                assert payload["sample_intervals_added"] >= 0
+
+                counters = client.metrics()
+                assert counters["sampling.rse_rounds"] == len(rounds)
+                assert counters["sampling.intervals_added"] == \
+                    payload["sample_intervals_added"]
+
+                # A resubmission is cache-resolved: the rollup counts
+                # computed work, so the counters do not move.
+                jid2 = client.submit([pt.to_dict()], tenant="bob")
+                assert client.wait(jid2)["counts"] == {"cached": 1}
+                assert client.metrics()["sampling.rse_rounds"] == \
+                    len(rounds)
